@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what it
+// wrote.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errc := make(chan error, 1)
+	go func() { errc <- fn() }()
+	runErr := <-errc
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("run failed: %v", runErr)
+	}
+	return string(buf[:n])
+}
+
+// tinyArgs is the cheapest valid sampling configuration.
+var tinyArgs = []string{"-samples", "40", "-trials", "40", "-closed-trials", "1", "-traces", "2"}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run("bogus", nil); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRunModelSubcommand(t *testing.T) {
+	out := capture(t, func() error { return run("model", []string{"-c", "8", "-w", "71"}) })
+	if !strings.Contains(out, "14114800") {
+		t.Errorf("model output missing the paper's 14.1M-entry anchor:\n%s", out)
+	}
+}
+
+func TestRunSizingSubcommand(t *testing.T) {
+	out := capture(t, func() error { return run("sizing", tinyArgs) })
+	if !strings.Contains(out, "50410") || !strings.Contains(out, "birthday") {
+		t.Errorf("sizing output incomplete:\n%s", out)
+	}
+}
+
+func TestRunFig4Tiny(t *testing.T) {
+	out := capture(t, func() error { return run("fig4", tinyArgs) })
+	if !strings.Contains(out, "Figure 4(a)") || !strings.Contains(out, "Figure 4(b)") {
+		t.Errorf("fig4 output incomplete:\n%s", out)
+	}
+}
+
+func TestRunFig5CSV(t *testing.T) {
+	out := capture(t, func() error { return run("fig5", append([]string{"-csv"}, tinyArgs...)) })
+	if !strings.Contains(out, "# Figure 5(a)") || !strings.Contains(out, ",") {
+		t.Errorf("fig5 CSV output incomplete:\n%s", out)
+	}
+}
+
+func TestRunIsolationTiny(t *testing.T) {
+	out := capture(t, func() error { return run("isolation", tinyArgs) })
+	if !strings.Contains(out, "strong isolation") {
+		t.Errorf("isolation output incomplete:\n%s", out)
+	}
+}
+
+func TestRunSTMSubcommand(t *testing.T) {
+	out := capture(t, func() error {
+		return run("stm", []string{"-threads", "2", "-writes", "4", "-entries", "512", "-txns", "20"})
+	})
+	if !strings.Contains(out, "tagless") || !strings.Contains(out, "tagged") {
+		t.Errorf("stm output incomplete:\n%s", out)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	if err := run("help", nil); err != nil {
+		t.Fatalf("help returned error: %v", err)
+	}
+}

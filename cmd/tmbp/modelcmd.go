@@ -1,0 +1,47 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tmbp/internal/model"
+	"tmbp/internal/report"
+)
+
+// runModel evaluates the analytical model at one configuration and prints
+// every derived quantity: the interactive companion to Section 3.
+func runModel(fs *flag.FlagSet, args []string) error {
+	c := fs.Int("c", 2, "concurrency (number of simultaneous transactions)")
+	w := fs.Int("w", 71, "write footprint in cache blocks")
+	alphaF := fs.Float64("alpha", 2, "reads per write")
+	n := fs.Float64("n", 65536, "ownership table entries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := model.Params{W: *w, Alpha: *alphaF, C: *c, N: *n}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	t := report.New(fmt.Sprintf("Analytical model at C=%d, W=%d, alpha=%g, N=%g", *c, *w, *alphaF, *n),
+		"quantity", "value")
+	t.Add("transaction footprint (blocks)", report.F1(p.Footprint()))
+	t.Add("conflict likelihood, sum form (Eq. 8)", report.Pct(p.ClosedConflict()))
+	t.Add("conflict likelihood, saturating", report.Pct(p.SaturatingConflict()))
+	t.Add("commit probability", report.Pct(p.CommitProbability()))
+	for _, target := range []float64{0.50, 0.90, 0.95, 0.99} {
+		need, err := model.TableSizeFor(target, *w, *alphaF, *c)
+		if err != nil {
+			return err
+		}
+		t.Add(fmt.Sprintf("table entries for %.0f%% commit", 100*target), report.F1(need))
+	}
+	wMax, err := model.FootprintFor(0.95, *n, *alphaF, *c)
+	if err != nil {
+		return err
+	}
+	t.Add("max W for 95% commit at this N", report.F1(wMax))
+	t.Note("Eq. 8: conflict ∝ C(C-1)(1+2α)W²/2N — quadratic in both footprint and concurrency")
+	return t.Render(os.Stdout)
+}

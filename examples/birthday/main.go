@@ -1,0 +1,64 @@
+// The birthday paradox, from party trick to ownership table.
+//
+// The paper's analytical result is that a tagless ownership table suffers
+// alias conflicts "long before the table is full" for exactly the reason 23
+// people suffice for a shared birthday. This example lays the two
+// side by side:
+//
+//   - the classic curve: probability of a shared birthday vs group size;
+//   - the table curve: probability that transactions' footprints collide
+//     vs footprint size, for tables of various sizes (Equation 8);
+//   - the sizing consequence: how the required table grows quadratically
+//     with footprint and concurrency.
+//
+// Run with: go run ./examples/birthday
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"tmbp"
+)
+
+func main() {
+	fmt.Println("1. the classic paradox (365 days)")
+	fmt.Println("   people  P(shared birthday)")
+	for _, n := range []int{5, 10, 15, 20, 23, 30, 40, 60} {
+		p := tmbp.BirthdayCollisionProb(n, 365)
+		fmt.Printf("   %4d    %6.1f%%  %s\n", n, 100*p, bar(p))
+	}
+
+	fmt.Println("\n2. the same curve in an ownership table")
+	fmt.Println("   (two lock-step transactions, alpha=2 reads per write, Eq. 8 saturating)")
+	fmt.Println("   W \\ N     1k        4k       16k       64k")
+	for _, w := range []int{5, 10, 20, 40, 80} {
+		fmt.Printf("   %3d   ", w)
+		for _, n := range []uint64{1024, 4096, 16384, 65536} {
+			fmt.Printf("  %6.1f%%", 100*tmbp.ConflictLikelihood(2, w, 2, n))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n3. what it takes to stay safe (95% commit probability)")
+	fmt.Println("   concurrency  W=20          W=71 (hybrid hand-off)   W=200")
+	for _, c := range []int{2, 4, 8} {
+		fmt.Printf("   %6d     ", c)
+		for _, w := range []int{20, 71, 200} {
+			n, err := tmbp.TableSizeFor(0.95, w, 2, c)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  %14.0f", n)
+		}
+		fmt.Println(" entries")
+	}
+
+	fmt.Println("\nthe quadratic wall: doubling either the footprint or the concurrency")
+	fmt.Println("quadruples (roughly) the table you need — tags are cheaper (Section 5).")
+}
+
+// bar renders a probability as a crude horizontal bar.
+func bar(p float64) string {
+	return strings.Repeat("#", int(p*40))
+}

@@ -1,0 +1,106 @@
+// False conflicts live: the paper's core claim demonstrated on the real
+// STM runtime rather than a simulator.
+//
+// Four threads transactionally update physically disjoint data — there is
+// no true sharing whatsoever, so a perfect conflict detector would never
+// abort anything. Under a tagless ownership table, unrelated blocks that
+// hash to the same entry are indistinguishable, and the runtime aborts
+// transactions anyway. The tagged table, which stores address tags and
+// chains aliases, runs the identical workload abort-free.
+//
+// The sweep over table sizes shows the paper's second finding: growing the
+// tagless table only buys a sublinear reduction in false aborts (conflict
+// likelihood ∝ W²/N, Equation 4).
+//
+// Run with: go run ./examples/falseconflicts
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"tmbp"
+)
+
+const (
+	threads     = 4
+	writesPer   = 10 // W: blocks written per transaction
+	alpha       = 2  // reads per write
+	txnsEach    = 400
+	blocksPerTx = writesPer * (1 + alpha)
+)
+
+func main() {
+	fmt.Println("disjoint-data workload: every abort below is a FALSE conflict")
+	fmt.Printf("%-10s %-10s %-12s %-12s %-14s\n", "entries", "kind", "commits", "aborts", "abort rate")
+	for _, entries := range []uint64{512, 1024, 4096, 16384} {
+		for _, kind := range []string{"tagless", "tagged"} {
+			stats, err := run(kind, entries)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10d %-10s %-12d %-12d %8.2f%%\n",
+				entries, kind, stats.Commits, stats.Aborts, 100*stats.AbortRate())
+		}
+		model := tmbp.ConflictLikelihood(threads, writesPer, alpha, entries)
+		fmt.Printf("%-10s model group-conflict likelihood (Eq. 8): %.1f%%\n", "", 100*model)
+	}
+}
+
+// run executes the workload on one configuration.
+func run(kind string, entries uint64) (tmbp.STMStats, error) {
+	table, err := tmbp.NewTable(kind, entries, "mask")
+	if err != nil {
+		return tmbp.STMStats{}, err
+	}
+	mem := tmbp.NewMemory(1024)
+	rt, err := tmbp.NewSTM(tmbp.STMConfig{Table: table, Memory: mem, Seed: 7})
+	if err != nil {
+		return tmbp.STMStats{}, err
+	}
+
+	var wg sync.WaitGroup
+	failures := make(chan error, threads)
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(gid int) {
+			defer wg.Done()
+			th := rt.NewThread()
+			rng := rand.New(rand.NewPCG(uint64(gid), 99))
+			// Each thread's blocks live a megablock apart: physically
+			// disjoint yet aliasing under the masked table. Every
+			// transaction touches a random window of its thread's stripe,
+			// so footprints collide with birthday-paradox statistics.
+			base := uint64(gid) * (1 << 20)
+			const stripeSpan = 1 << 18
+			for i := 0; i < txnsEach; i++ {
+				start := rng.Uint64N(stripeSpan)
+				err := th.Atomic(func(tx *tmbp.Tx) error {
+					for k := 0; k < blocksPerTx; k++ {
+						b := tmbp.Block(base + (start+uint64(k))%stripeSpan)
+						if k%(alpha+1) == alpha {
+							tx.WriteBlock(b)
+						} else {
+							tx.ReadBlock(b)
+						}
+						runtime.Gosched() // model computation between accesses
+					}
+					return nil
+				})
+				if err != nil {
+					failures <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(failures)
+	if err := <-failures; err != nil {
+		return tmbp.STMStats{}, err
+	}
+	return rt.Stats(), nil
+}

@@ -1,0 +1,105 @@
+// Package addr defines the address types shared by the trace generators,
+// cache simulator, ownership tables, and STM runtime.
+//
+// Following the paper, ownership and conflicts are tracked at the
+// granularity of fixed-size chunks of memory — either individual words or
+// whole cache blocks. An Addr is a 64-bit virtual byte address; a Block is
+// that address shifted down by the block-size exponent, i.e. the cache-block
+// number. All of the paper's experiments operate on 64-byte blocks.
+package addr
+
+import "fmt"
+
+// Addr is a 64-bit virtual byte address.
+type Addr uint64
+
+// Block is a cache-block number: a byte address divided by the block size.
+type Block uint64
+
+// Standard granularities used throughout the paper.
+const (
+	// BlockShift is log2 of the cache-block size (64 bytes).
+	BlockShift = 6
+	// BlockBytes is the cache-block size used in every experiment (64 B).
+	BlockBytes = 1 << BlockShift
+	// WordShift is log2 of the word size on a 64-bit architecture.
+	WordShift = 3
+	// WordBytes is the word size (8 B).
+	WordBytes = 1 << WordShift
+)
+
+// BlockOf returns the cache-block number containing a.
+func BlockOf(a Addr) Block { return Block(a >> BlockShift) }
+
+// BlockAddr returns the first byte address of block b.
+func BlockAddr(b Block) Addr { return Addr(b) << BlockShift }
+
+// WordOf returns the word number containing a.
+func WordOf(a Addr) uint64 { return uint64(a) >> WordShift }
+
+// Offset returns the byte offset of a within its cache block.
+func Offset(a Addr) uint64 { return uint64(a) & (BlockBytes - 1) }
+
+// AlignBlock rounds a down to its cache-block boundary.
+func AlignBlock(a Addr) Addr { return a &^ (BlockBytes - 1) }
+
+// AlignUp rounds a up to the next multiple of align, which must be a power
+// of two. It panics otherwise.
+func AlignUp(a Addr, align uint64) Addr {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("addr: AlignUp alignment %d is not a power of two", align))
+	}
+	return Addr((uint64(a) + align - 1) &^ (align - 1))
+}
+
+// String renders the address in the 0x-prefixed hex style used by the
+// paper's figures.
+func (a Addr) String() string { return fmt.Sprintf("0x%X", uint64(a)) }
+
+// String renders the block's base address.
+func (b Block) String() string { return BlockAddr(b).String() }
+
+// Region describes a contiguous span of the address space, used by the
+// synthetic workload generators to lay out heaps, shared tables, stacks, and
+// per-thread allocation arenas.
+type Region struct {
+	Base Addr   // first byte of the region
+	Size uint64 // size in bytes
+}
+
+// NewRegion returns a region covering [base, base+size).
+func NewRegion(base Addr, size uint64) Region { return Region{Base: base, Size: size} }
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Contains reports whether a lies inside the region.
+func (r Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Blocks returns the number of whole-or-partial cache blocks the region
+// spans.
+func (r Region) Blocks() uint64 {
+	if r.Size == 0 {
+		return 0
+	}
+	first := uint64(BlockOf(r.Base))
+	last := uint64(BlockOf(r.End() - 1))
+	return last - first + 1
+}
+
+// Nth returns the address at byte offset off within the region. It panics
+// if off is outside the region.
+func (r Region) Nth(off uint64) Addr {
+	if off >= r.Size {
+		panic(fmt.Sprintf("addr: offset %d outside region of size %d", off, r.Size))
+	}
+	return r.Base + Addr(off)
+}
+
+// Overlaps reports whether two regions share any byte.
+func (r Region) Overlaps(o Region) bool {
+	if r.Size == 0 || o.Size == 0 {
+		return false
+	}
+	return r.Base < o.End() && o.Base < r.End()
+}

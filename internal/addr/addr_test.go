@@ -1,0 +1,150 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockOf(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		want Block
+	}{
+		{0x0, 0},
+		{0x3F, 0},
+		{0x40, 1},
+		{0x7F, 1},
+		{0x100, 4},
+		{0x120, 4},
+		{0x13F, 4},
+		{0x140, 5},
+	}
+	for _, c := range cases {
+		if got := BlockOf(c.a); got != c.want {
+			t.Errorf("BlockOf(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	check := func(raw uint64) bool {
+		a := Addr(raw)
+		b := BlockOf(a)
+		base := BlockAddr(b)
+		return BlockOf(base) == b && base <= a && a < base+BlockBytes
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignBlock(t *testing.T) {
+	check := func(raw uint64) bool {
+		a := Addr(raw)
+		al := AlignBlock(a)
+		return uint64(al)%BlockBytes == 0 && al <= a && a-al < BlockBytes
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	if got := AlignUp(0x41, 64); got != 0x80 {
+		t.Errorf("AlignUp(0x41, 64) = %v, want 0x80", got)
+	}
+	if got := AlignUp(0x40, 64); got != 0x40 {
+		t.Errorf("AlignUp(0x40, 64) = %v, want 0x40", got)
+	}
+	if got := AlignUp(0, 4096); got != 0 {
+		t.Errorf("AlignUp(0, 4096) = %v, want 0", got)
+	}
+}
+
+func TestAlignUpPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AlignUp with align=3 did not panic")
+		}
+	}()
+	AlignUp(1, 3)
+}
+
+func TestOffset(t *testing.T) {
+	if got := Offset(0x123); got != 0x23 {
+		t.Errorf("Offset(0x123) = %#x, want 0x23", got)
+	}
+}
+
+func TestWordOf(t *testing.T) {
+	if got := WordOf(0x18); got != 3 {
+		t.Errorf("WordOf(0x18) = %d, want 3", got)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := Addr(0x120).String(); got != "0x120" {
+		t.Errorf("Addr(0x120).String() = %q", got)
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := NewRegion(0x1000, 0x100)
+	if !r.Contains(0x1000) || !r.Contains(0x10FF) {
+		t.Error("region should contain its endpoints-1")
+	}
+	if r.Contains(0xFFF) || r.Contains(0x1100) {
+		t.Error("region should not contain addresses outside it")
+	}
+}
+
+func TestRegionBlocks(t *testing.T) {
+	cases := []struct {
+		r    Region
+		want uint64
+	}{
+		{NewRegion(0, 0), 0},
+		{NewRegion(0, 1), 1},
+		{NewRegion(0, 64), 1},
+		{NewRegion(0, 65), 2},
+		{NewRegion(0x20, 64), 2}, // straddles a block boundary
+		{NewRegion(0x40, 128), 2},
+	}
+	for _, c := range cases {
+		if got := c.r.Blocks(); got != c.want {
+			t.Errorf("%+v.Blocks() = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegionNthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Nth past region did not panic")
+		}
+	}()
+	NewRegion(0, 16).Nth(16)
+}
+
+func TestRegionOverlaps(t *testing.T) {
+	a := NewRegion(0x100, 0x100)
+	cases := []struct {
+		b    Region
+		want bool
+	}{
+		{NewRegion(0x100, 0x100), true},
+		{NewRegion(0x1FF, 1), true},
+		{NewRegion(0x200, 0x100), false},
+		{NewRegion(0x0, 0x100), false},
+		{NewRegion(0x0, 0x101), true},
+		{NewRegion(0x150, 0), false}, // empty region overlaps nothing
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%+v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("symmetric Overlaps(%+v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}

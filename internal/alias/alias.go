@@ -1,0 +1,216 @@
+// Package alias implements the trace-driven aliasing study of Section 2.2
+// (Figure 2): C concurrent address streams from a multithreaded workload
+// populate an ownership table until each stream has written W cache blocks,
+// and a trial records whether any alias-induced conflict occurred first.
+//
+// As in the paper, true conflicts are removed from the streams before they
+// reach the table — every block belongs to the stream that touches it
+// first, and other streams' accesses to it are dropped — so any conflict
+// the tagless table reports is an artifact of hashing distinct addresses to
+// the same entry.
+package alias
+
+import (
+	"fmt"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/hash"
+	"tmbp/internal/otable"
+	"tmbp/internal/stats"
+	"tmbp/internal/trace"
+	"tmbp/internal/xrand"
+)
+
+// Config parameterizes one measurement point.
+type Config struct {
+	// C is the number of concurrent streams (paper: 2–4).
+	C int
+	// W is the distinct written-block count each stream must reach
+	// (paper: 5–80).
+	W int
+	// N is the ownership table size in entries.
+	N uint64
+	// Kind selects the table organization ("tagless" default; "tagged"
+	// demonstrates the zero-false-conflict alternative).
+	Kind string
+	// Hash selects the address hash ("mask" default — the natural choice
+	// whose stride preservation produces Figure 2(b)'s asymptote;
+	// "fibonacci" or "mix" for the ablation).
+	Hash string
+	// Samples is the number of trials (paper: ~10,000).
+	Samples int
+	// Seed drives workload generation.
+	Seed uint64
+	// Warehouse shapes the synthetic workload; Threads is overridden by C.
+	Warehouse trace.WarehouseConfig
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Kind == "" {
+		cfg.Kind = "tagless"
+	}
+	if cfg.Hash == "" {
+		cfg.Hash = "mask"
+	}
+	if cfg.Samples == 0 {
+		cfg.Samples = 10000
+	}
+	cfg.Warehouse.Threads = cfg.C
+	return cfg
+}
+
+func (cfg Config) validate() error {
+	switch {
+	case cfg.C < 2:
+		return fmt.Errorf("alias: C = %d must be >= 2", cfg.C)
+	case cfg.W < 1:
+		return fmt.Errorf("alias: W = %d must be >= 1", cfg.W)
+	case cfg.N == 0:
+		return fmt.Errorf("alias: N must be > 0")
+	case cfg.Samples < 1:
+		return fmt.Errorf("alias: samples = %d must be >= 1", cfg.Samples)
+	}
+	return nil
+}
+
+// Result aggregates the trials of one configuration.
+type Result struct {
+	Config Config
+	// Rate is the alias likelihood: the fraction of trials in which an
+	// alias-induced conflict occurred before all streams finished.
+	Rate float64
+	// RateLo and RateHi bound Rate with a Wilson 95% interval.
+	RateLo, RateHi float64
+	// Aliased is the absolute count of aliased trials.
+	Aliased int
+	// TrueConflictsRemoved is the mean number of accesses per trial dropped
+	// by the true-conflict filter.
+	TrueConflictsRemoved float64
+	// MeanWriteAtAlias is the mean per-stream write count when the alias
+	// struck (aliased trials only).
+	MeanWriteAtAlias float64
+}
+
+// stream is the per-thread trial state.
+type stream struct {
+	src     *trace.WarehouseThread
+	fp      *otable.Footprint
+	written map[addr.Block]struct{}
+	done    bool
+}
+
+// Run executes the Monte-Carlo study for one configuration.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	h, err := hash.New(cfg.Hash, cfg.N)
+	if err != nil {
+		return Result{}, err
+	}
+	tab, err := otable.New(cfg.Kind, h)
+	if err != nil {
+		return Result{}, err
+	}
+
+	streams := make([]*stream, cfg.C)
+	for i := range streams {
+		streams[i] = &stream{
+			fp:      otable.NewFootprint(tab, otable.TxID(i+1)),
+			written: make(map[addr.Block]struct{}, cfg.W),
+		}
+	}
+
+	var prop stats.Proportion
+	var atWrite stats.Sample
+	removedTotal := 0
+	for s := 0; s < cfg.Samples; s++ {
+		// Each trial samples an independent window of the workload: fresh
+		// per-sample layout randomness stands in for the paper's sampling
+		// of distinct regions of one long trace, and keeps trials
+		// uncorrelated.
+		threads, werr := trace.NewWarehouse(cfg.Warehouse, xrand.Mix64(cfg.Seed^uint64(s)*0x9e3779b97f4a7c15))
+		if werr != nil {
+			return Result{}, werr
+		}
+		for i := range streams {
+			streams[i].src = threads[i]
+		}
+		aliased, w, removed := runTrial(cfg, streams)
+		prop.Record(aliased)
+		if aliased {
+			atWrite.Add(float64(w))
+		}
+		removedTotal += removed
+	}
+
+	res := Result{
+		Config:               cfg,
+		Rate:                 prop.Rate(),
+		Aliased:              prop.Successes(),
+		TrueConflictsRemoved: float64(removedTotal) / float64(cfg.Samples),
+		MeanWriteAtAlias:     atWrite.Mean(),
+	}
+	res.RateLo, res.RateHi = prop.Wilson95()
+	return res, nil
+}
+
+// runTrial populates the table from successive windows of the streams until
+// every stream has written W distinct blocks or an alias conflict occurs.
+// It returns whether an alias struck, the striking stream's write count at
+// that moment, and the number of true-conflict accesses removed.
+func runTrial(cfg Config, streams []*stream) (aliased bool, atWrite, removed int) {
+	claimed := make(map[addr.Block]int, cfg.C*cfg.W*4)
+	for _, st := range streams {
+		st.done = false
+		for b := range st.written {
+			delete(st.written, b)
+		}
+	}
+	defer func() {
+		for _, st := range streams {
+			st.fp.ReleaseAll()
+		}
+	}()
+
+	for {
+		active := 0
+		for i, st := range streams {
+			if st.done {
+				continue
+			}
+			active++
+			// Consume accesses until this stream contributes one table
+			// operation (skipping filtered true conflicts), keeping the
+			// streams roughly in lock step.
+			for {
+				acc := st.src.Next()
+				if owner, ok := claimed[acc.Block]; ok && owner != i {
+					removed++
+					continue // true conflict removed, as in the paper
+				}
+				claimed[acc.Block] = i
+				var out otable.Outcome
+				if acc.Write {
+					out = st.fp.Write(acc.Block)
+				} else {
+					out = st.fp.Read(acc.Block)
+				}
+				if out.Conflict() {
+					return true, len(st.written) + 1, removed
+				}
+				if acc.Write {
+					st.written[acc.Block] = struct{}{}
+					if len(st.written) >= cfg.W {
+						st.done = true
+					}
+				}
+				break
+			}
+		}
+		if active == 0 {
+			return false, 0, removed
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package cache implements the set-associative data-cache simulator used to
+// characterize HTM overflow in a hybrid TM (Section 2.3, Figure 3).
+//
+// An HTM tracks a transaction's read and write sets in the L1 data cache;
+// the transaction overflows to software the first time a block belonging to
+// its footprint must leave the cache hierarchy the HTM controls. The paper
+// models a 32 KB 4-way cache with 64-byte lines — overflow therefore occurs
+// when some set receives its fifth distinct footprint block — optionally
+// extended with a small fully-associative victim buffer that catches
+// evictions (Jouppi-style) and delays overflow.
+package cache
+
+import (
+	"fmt"
+
+	"tmbp/internal/addr"
+)
+
+// Config describes the simulated cache.
+type Config struct {
+	// SizeBytes is the total capacity (default 32 KiB).
+	SizeBytes int
+	// Ways is the set associativity (default 4).
+	Ways int
+	// BlockBytes is the line size (default 64).
+	BlockBytes int
+	// VictimEntries is the size of the fully-associative victim buffer
+	// (default 0: no buffer).
+	VictimEntries int
+}
+
+// Default32K returns the paper's cache configuration: 32 KB, 4-way, 64 B
+// lines, and the given victim buffer depth.
+func Default32K(victims int) Config {
+	return Config{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 64, VictimEntries: victims}
+}
+
+func (c Config) withDefaults() Config {
+	if c.SizeBytes == 0 {
+		c.SizeBytes = 32 << 10
+	}
+	if c.Ways == 0 {
+		c.Ways = 4
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 64
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.VictimEntries < 0 {
+		return fmt.Errorf("cache: negative victim buffer %d", c.VictimEntries)
+	}
+	lines := c.SizeBytes / c.BlockBytes
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: %d sets is not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of cache sets.
+func (c Config) Sets() int {
+	c = c.withDefaults()
+	return c.SizeBytes / c.BlockBytes / c.Ways
+}
+
+// Lines returns the total number of cache lines.
+func (c Config) Lines() int {
+	c = c.withDefaults()
+	return c.SizeBytes / c.BlockBytes
+}
+
+// line is one cache line's bookkeeping.
+type line struct {
+	block   addr.Block
+	valid   bool
+	txRead  bool
+	txWrite bool
+	lastUse uint64
+}
+
+// inTx reports whether the line belongs to the current transaction.
+func (l *line) inTx() bool { return l.valid && (l.txRead || l.txWrite) }
+
+// TxCache is a cache with transactional footprint tracking. It is not safe
+// for concurrent use; each simulated hardware context owns one.
+type TxCache struct {
+	cfg    Config
+	sets   [][]line
+	victim []line
+	clock  uint64
+
+	overflowed bool
+	accesses   uint64
+	misses     uint64
+
+	reads  map[addr.Block]struct{} // footprint blocks that were only read
+	writes map[addr.Block]struct{} // footprint blocks written at least once
+}
+
+// New builds a TxCache. It panics on an invalid configuration, which is a
+// programming error in experiment setup.
+func New(cfg Config) *TxCache {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	c := &TxCache{cfg: cfg}
+	c.sets = make([][]line, cfg.Sets())
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	c.victim = make([]line, cfg.VictimEntries)
+	c.reset()
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *TxCache) Config() Config { return c.cfg }
+
+func (c *TxCache) reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+	for i := range c.victim {
+		c.victim[i] = line{}
+	}
+	c.clock = 0
+	c.overflowed = false
+	c.accesses = 0
+	c.misses = 0
+	c.reads = make(map[addr.Block]struct{})
+	c.writes = make(map[addr.Block]struct{})
+}
+
+// Reset clears the cache and begins a new transaction.
+func (c *TxCache) Reset() { c.reset() }
+
+// setOf maps a block to its set index.
+func (c *TxCache) setOf(b addr.Block) int {
+	return int(uint64(b) % uint64(len(c.sets)))
+}
+
+// Access simulates one transactional reference to block b. It returns true
+// if the reference overflowed the cache: a block of the transaction's
+// footprint could no longer be held. After overflow the cache stops
+// accepting accesses until Reset.
+func (c *TxCache) Access(b addr.Block, write bool) (overflow bool) {
+	if c.overflowed {
+		return true
+	}
+	c.accesses++
+	c.clock++
+
+	// Track footprint (reads and writes kept disjoint, writes dominate).
+	if write {
+		c.writes[b] = struct{}{}
+		delete(c.reads, b)
+	} else if _, wr := c.writes[b]; !wr {
+		c.reads[b] = struct{}{}
+	}
+
+	set := c.sets[c.setOf(b)]
+	// Set hit?
+	for i := range set {
+		if set[i].valid && set[i].block == b {
+			c.touch(&set[i], write)
+			return false
+		}
+	}
+	c.misses++
+	// Victim buffer hit? Swap back into the set.
+	for i := range c.victim {
+		if c.victim[i].valid && c.victim[i].block == b {
+			l := c.victim[i]
+			c.victim[i] = line{}
+			c.touch(&l, write)
+			return c.install(l)
+		}
+	}
+	// Cold miss: install a fresh line.
+	l := line{block: b, valid: true}
+	c.touch(&l, write)
+	return c.install(l)
+}
+
+// touch updates recency and transactional bits.
+func (c *TxCache) touch(l *line, write bool) {
+	l.lastUse = c.clock
+	if write {
+		l.txWrite = true
+	} else {
+		l.txRead = true
+	}
+}
+
+// install places l into its set, spilling the LRU line into the victim
+// buffer and, if necessary, dropping a victim line. Returns true on
+// overflow (a transactional line was dropped).
+func (c *TxCache) install(l line) bool {
+	set := c.sets[c.setOf(l.block)]
+	// Free way?
+	for i := range set {
+		if !set[i].valid {
+			set[i] = l
+			return false
+		}
+	}
+	// Evict set-LRU into the victim buffer.
+	lru := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lastUse < set[lru].lastUse {
+			lru = i
+		}
+	}
+	evicted := set[lru]
+	set[lru] = l
+	return c.spill(evicted)
+}
+
+// spill pushes an evicted line into the victim buffer, dropping the
+// buffer's LRU line if full. Dropping a transactional line is overflow.
+func (c *TxCache) spill(evicted line) bool {
+	if len(c.victim) == 0 {
+		if evicted.inTx() {
+			c.overflowed = true
+			return true
+		}
+		return false
+	}
+	for i := range c.victim {
+		if !c.victim[i].valid {
+			c.victim[i] = evicted
+			return false
+		}
+	}
+	lru := 0
+	for i := 1; i < len(c.victim); i++ {
+		if c.victim[i].lastUse < c.victim[lru].lastUse {
+			lru = i
+		}
+	}
+	dropped := c.victim[lru]
+	c.victim[lru] = evicted
+	if dropped.inTx() {
+		c.overflowed = true
+		return true
+	}
+	return false
+}
+
+// Overflowed reports whether the current transaction has overflowed.
+func (c *TxCache) Overflowed() bool { return c.overflowed }
+
+// Accesses returns the number of references since Reset.
+func (c *TxCache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of cache misses since Reset.
+func (c *TxCache) Misses() uint64 { return c.misses }
+
+// FootprintReads returns the number of distinct blocks only read.
+func (c *TxCache) FootprintReads() int { return len(c.reads) }
+
+// FootprintWrites returns the number of distinct blocks written.
+func (c *TxCache) FootprintWrites() int { return len(c.writes) }
+
+// Footprint returns the total distinct blocks touched.
+func (c *TxCache) Footprint() int { return len(c.reads) + len(c.writes) }
+
+// Utilization returns the footprint as a fraction of cache lines — the
+// paper's "fraction of the cache's 512 blocks" measure.
+func (c *TxCache) Utilization() float64 {
+	return float64(c.Footprint()) / float64(c.cfg.Lines())
+}

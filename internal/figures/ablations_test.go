@@ -1,0 +1,44 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsSmoke(t *testing.T) {
+	tables, err := Ablations(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("Ablations returned %d tables, want 3", len(tables))
+	}
+	out := renderAll(t, tables)
+	for _, want := range []string{"victim buffer depth", "alias floor", "stride preservation", "fibonacci"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestIsolationSmoke(t *testing.T) {
+	tables, err := Isolation(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderAll(t, tables)
+	for _, want := range []string{"strong isolation", "NT=16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("isolation output missing %q", want)
+		}
+	}
+}
+
+func TestIsolationValidatesOptions(t *testing.T) {
+	if _, err := Isolation(Options{}); err == nil {
+		t.Error("zero options accepted")
+	}
+	if _, err := Ablations(Options{}); err == nil {
+		t.Error("zero options accepted")
+	}
+}

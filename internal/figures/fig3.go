@@ -1,0 +1,58 @@
+package figures
+
+import (
+	"tmbp/internal/cache"
+	"tmbp/internal/overflow"
+	"tmbp/internal/report"
+	"tmbp/internal/trace"
+)
+
+// Fig3 regenerates Figure 3: average maximum footprint (a) and dynamic
+// instruction count (b) of transactions overflowing a 32 KB 4-way cache,
+// for the twelve SPEC2000-like profiles, without and with a single-entry
+// victim buffer.
+func Fig3(o Options) ([]*report.Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	base, err := overflow.RunSuite(trace.SpecProfiles(), overflow.Config{
+		Cache: cache.Default32K(0), Traces: o.Traces, Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vb, err := overflow.RunSuite(trace.SpecProfiles(), overflow.Config{
+		Cache: cache.Default32K(1), Traces: o.Traces, Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	a := report.New("Figure 3(a): footprint at overflow (32KB 4-way, 64B blocks)",
+		"bench", "reads", "writes", "total", "reads+VB", "writes+VB", "total+VB")
+	for i := range base.Benches {
+		b0, b1 := &base.Benches[i], &vb.Benches[i]
+		a.Add(b0.Name,
+			report.F1(b0.ReadBlocks.Mean()), report.F1(b0.WriteBlocks.Mean()), report.F1(b0.Blocks.Mean()),
+			report.F1(b1.ReadBlocks.Mean()), report.F1(b1.WriteBlocks.Mean()), report.F1(b1.Blocks.Mean()))
+	}
+	a.Add("AVG",
+		report.F1(base.AvgReads), report.F1(base.AvgWrites), report.F1(base.AvgBlocks),
+		report.F1(vb.AvgReads), report.F1(vb.AvgWrites), report.F1(vb.AvgBlocks))
+	a.Note("cache utilization at overflow: %s (paper ~36%%); with victim buffer: %s (paper ~42%%)",
+		report.Pct(base.Utilization()), report.Pct(vb.Utilization()))
+	a.Note("read:write footprint ratio: %s (paper ~2:1)", report.F2(base.ReadWriteRatio()))
+	a.Note("victim buffer footprint gain: %s (paper ~16%%)", report.Pct(vb.AvgBlocks/base.AvgBlocks-1))
+
+	b := report.New("Figure 3(b): dynamic instructions at overflow (thousands)",
+		"bench", "instrs(K)", "instrs+VB(K)")
+	for i := range base.Benches {
+		b0, b1 := &base.Benches[i], &vb.Benches[i]
+		b.Add(b0.Name, report.F1(b0.Instrs.Mean()/1000), report.F1(b1.Instrs.Mean()/1000))
+	}
+	b.Add("AVG", report.F1(base.AvgInstrs/1000), report.F1(vb.AvgInstrs/1000))
+	b.Note("paper: ~23k instructions at overflow; victim buffer adds ~30%% (measured %s)",
+		report.Pct(vb.AvgInstrs/base.AvgInstrs-1))
+
+	return []*report.Table{a, b}, nil
+}

@@ -1,0 +1,68 @@
+package figures
+
+import (
+	"tmbp/internal/report"
+	"tmbp/internal/sim/closed"
+)
+
+// Fig6 regenerates Figure 6: closed-system conflicts against applied
+// concurrency (a) and against the measured *actual* concurrency (b), whose
+// occupancy-based compensation recovers the model's relationships at high
+// conflict rates.
+func Fig6(o Options) ([]*report.Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+
+	a := report.New("Figure 6(a): conflicts vs applied concurrency (closed system)",
+		"N-W \\ C", "C=2", "C=4", "C=8", "ratio 2→4", "ratio 4→8")
+	b := report.New("Figure 6(b): conflicts vs actual concurrency",
+		"N-W", "C=2 actual", "C=4 actual", "C=8 actual", "occupancy drop @C=8")
+
+	for _, n := range Fig5Tables {
+		for _, w := range Fig6Footprints {
+			label := report.SI(n) + "-" + report.Int(w)
+			var conflicts []float64
+			var actuals []float64
+			var occDrop float64
+			for _, c := range Fig5Concurrency {
+				res, err := closed.Run(closed.Config{
+					C: c, W: w, Alpha: o.Alpha, N: n,
+					Kind: o.Kind, Trials: o.ClosedTrials, Seed: o.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				conflicts = append(conflicts, res.Conflicts)
+				actuals = append(actuals, res.ActualConcurrency)
+				if c == 8 {
+					occDrop = 1 - res.ActualConcurrency/8
+				}
+			}
+			rowA := []string{label}
+			for _, cf := range conflicts {
+				rowA = append(rowA, report.F1(cf))
+			}
+			rowA = append(rowA, ratio(conflicts[1], conflicts[0]), ratio(conflicts[2], conflicts[1]))
+			a.Add(rowA...)
+
+			rowB := []string{label}
+			for _, ac := range actuals {
+				rowB = append(rowB, report.F2(ac))
+			}
+			rowB = append(rowB, report.Pct(occDrop))
+			b.Add(rowB...)
+		}
+	}
+	a.Note("model predicts C(C-1) scaling: ratio 2→4 is 6, 4→8 is ~4.67; convergence at high rates is the Figure 6(a) effect")
+	b.Note("paper: measured occupancy falls up to ~40%% below C·F/2 at high conflict rates; plotting against actual concurrency recovers the expected relationships")
+
+	return []*report.Table{a, b}, nil
+}
+
+func ratio(num, den float64) string {
+	if den == 0 {
+		return "-"
+	}
+	return report.F2(num / den)
+}

@@ -1,0 +1,149 @@
+// Package hash provides the address→ownership-table-index hash functions
+// studied in the reproduction.
+//
+// The paper maps program addresses to ownership table entries "by hashing
+// the (virtual) address" and observes (Section 4) that real address streams
+// are not identically distributed: consecutive memory addresses map, through
+// many hash functions, to consecutive table entries. Which hash is used
+// therefore matters for the *asymptotic* alias behavior at large tables
+// (Figure 2b) even though it barely matters in the random-population model.
+//
+// Three practically relevant functions are provided:
+//
+//   - Mask: index = block & (N-1). The cheapest and the one word-based STM
+//     proposals typically sketch. Stride-preserving: consecutive blocks map
+//     to consecutive entries, and addresses 2^k apart collide whenever
+//     N divides 2^k.
+//   - Fibonacci: multiplicative hashing by the golden-ratio constant, then
+//     taking the top bits. Breaks up strides; close to uniform for real
+//     streams.
+//   - Mix: full 64-bit finalizer (SplitMix64) then mask. The strongest
+//     mixer; used as the "ideal" reference.
+//
+// All functions require the table size to be a power of two, matching every
+// STM proposal cited by the paper.
+package hash
+
+import (
+	"fmt"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/xrand"
+)
+
+// Func hashes a cache-block number into [0, n) for a table of n entries.
+// Implementations must be pure and safe for concurrent use.
+type Func interface {
+	// Index maps block b to a table index in [0, N()).
+	Index(b addr.Block) uint64
+	// N returns the table size this function was built for.
+	N() uint64
+	// Name identifies the function in reports and flags.
+	Name() string
+}
+
+// check that n is a positive power of two.
+func checkPow2(n uint64) {
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("hash: table size %d is not a power of two", n))
+	}
+}
+
+// Mask is the identity-with-mask hash: index = block mod N.
+type Mask struct {
+	mask uint64
+	n    uint64
+}
+
+// NewMask returns a Mask hash for a table of n entries (n a power of two).
+func NewMask(n uint64) Mask {
+	checkPow2(n)
+	return Mask{mask: n - 1, n: n}
+}
+
+// Index implements Func.
+func (m Mask) Index(b addr.Block) uint64 { return uint64(b) & m.mask }
+
+// N implements Func.
+func (m Mask) N() uint64 { return m.n }
+
+// Name implements Func.
+func (Mask) Name() string { return "mask" }
+
+// Fibonacci is multiplicative hashing: multiply by the 64-bit golden-ratio
+// constant and keep the top log2(N) bits.
+type Fibonacci struct {
+	shift uint
+	n     uint64
+}
+
+// golden64 is floor(2^64 / phi), the classic Fibonacci hashing multiplier.
+const golden64 = 0x9e3779b97f4a7c15
+
+// NewFibonacci returns a Fibonacci hash for a table of n entries.
+func NewFibonacci(n uint64) Fibonacci {
+	checkPow2(n)
+	shift := uint(64)
+	for v := n; v > 1; v >>= 1 {
+		shift--
+	}
+	return Fibonacci{shift: shift, n: n}
+}
+
+// Index implements Func.
+func (f Fibonacci) Index(b addr.Block) uint64 {
+	if f.n == 1 {
+		return 0
+	}
+	return (uint64(b) * golden64) >> f.shift
+}
+
+// N implements Func.
+func (f Fibonacci) N() uint64 { return f.n }
+
+// Name implements Func.
+func (Fibonacci) Name() string { return "fibonacci" }
+
+// Mix applies a full 64-bit avalanche mixer before masking.
+type Mix struct {
+	mask uint64
+	n    uint64
+}
+
+// NewMix returns a Mix hash for a table of n entries.
+func NewMix(n uint64) Mix {
+	checkPow2(n)
+	return Mix{mask: n - 1, n: n}
+}
+
+// Index implements Func.
+func (m Mix) Index(b addr.Block) uint64 { return xrand.Mix64(uint64(b)) & m.mask }
+
+// N implements Func.
+func (m Mix) N() uint64 { return m.n }
+
+// Name implements Func.
+func (Mix) Name() string { return "mix" }
+
+// New constructs a hash function by name: "mask", "fibonacci", or "mix".
+// Unlike the typed constructors (which panic on programmer error), New
+// validates the table size and reports it as an error, since the size
+// typically arrives from a flag or experiment configuration.
+func New(name string, n uint64) (Func, error) {
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("hash: table size %d is not a power of two", n)
+	}
+	switch name {
+	case "mask":
+		return NewMask(n), nil
+	case "fibonacci", "fib":
+		return NewFibonacci(n), nil
+	case "mix":
+		return NewMix(n), nil
+	default:
+		return nil, fmt.Errorf("hash: unknown hash function %q (want mask, fibonacci, or mix)", name)
+	}
+}
+
+// Names lists the available hash function names.
+func Names() []string { return []string{"mask", "fibonacci", "mix"} }

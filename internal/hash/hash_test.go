@@ -1,0 +1,215 @@
+package hash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/xrand"
+)
+
+func allFuncs(n uint64) []Func {
+	return []Func{NewMask(n), NewFibonacci(n), NewMix(n)}
+}
+
+func TestIndexInRange(t *testing.T) {
+	for _, n := range []uint64{1, 2, 64, 1024, 65536} {
+		for _, f := range allFuncs(n) {
+			check := func(raw uint64) bool {
+				return f.Index(addr.Block(raw)) < n
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+				t.Errorf("%s/N=%d: %v", f.Name(), n, err)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	for _, f := range allFuncs(4096) {
+		b := addr.Block(0xDEADBEEF)
+		if f.Index(b) != f.Index(b) {
+			t.Errorf("%s: non-deterministic index", f.Name())
+		}
+	}
+}
+
+func TestMaskIsModulo(t *testing.T) {
+	f := NewMask(1024)
+	check := func(raw uint64) bool {
+		return f.Index(addr.Block(raw)) == raw%1024
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskCollidesAtTableStride(t *testing.T) {
+	// The paper's Figure 1 shows 0x120 and 0x220 aliasing in an 8-entry
+	// table at 32-byte granularity. At our 64-byte granularity the stride
+	// of an 8-entry table is 8*64 = 0x200, so the analogous pair is
+	// 0x120 and 0x320.
+	f := NewMask(8)
+	b1 := addr.BlockOf(0x120)
+	b2 := addr.BlockOf(0x320)
+	if f.Index(b1) != f.Index(b2) {
+		t.Fatalf("expected 0x120 and 0x320 to alias in an 8-entry table: %d vs %d",
+			f.Index(b1), f.Index(b2))
+	}
+	if f.Index(b1) != f.Index(addr.BlockOf(0x130)) {
+		t.Fatal("addresses within one block should share an entry")
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range Names() {
+		f, err := New(name, 256)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if f.N() != 256 {
+			t.Errorf("New(%q).N() = %d", name, f.N())
+		}
+	}
+	if _, err := New("bogus", 256); err == nil {
+		t.Fatal("New(bogus) succeeded")
+	}
+}
+
+func TestNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMask(100) did not panic")
+		}
+	}()
+	NewMask(100)
+}
+
+func TestUniformityOnRandomBlocks(t *testing.T) {
+	r := xrand.New(7)
+	blocks := make([]addr.Block, 64*1024)
+	for i := range blocks {
+		blocks[i] = addr.Block(r.Uint64())
+	}
+	const n = 256
+	for _, f := range allFuncs(n) {
+		chi2 := ChiSquare(f, blocks)
+		score := UniformityPValueish(chi2, n)
+		if math.Abs(score) > 4 {
+			t.Errorf("%s: chi2 standardized score %.2f on random input", f.Name(), score)
+		}
+	}
+}
+
+func TestFibonacciBreaksSequentialClumping(t *testing.T) {
+	// Sequential blocks through Mask fill consecutive entries; through
+	// Fibonacci they should spread roughly uniformly.
+	blocks := make([]addr.Block, 4096)
+	for i := range blocks {
+		blocks[i] = addr.Block(0x40000 + i)
+	}
+	const n = 256
+	fib := NewFibonacci(n)
+	chi2 := ChiSquare(fib, blocks)
+	// Sequential input through Fibonacci hashing is a low-discrepancy
+	// sequence: it spreads *more* evenly than random (strongly negative
+	// standardized score). Only clumping (positive score) is a failure.
+	if score := UniformityPValueish(chi2, n); score > 6 {
+		t.Errorf("fibonacci: sequential input clumping score %.2f", score)
+	}
+}
+
+func TestStridePreservation(t *testing.T) {
+	const n = 1024
+	if got := StridePreservation(NewMask(n), 0x1000, 4096); got != 1.0 {
+		t.Errorf("mask stride preservation = %v, want 1.0", got)
+	}
+	if got := StridePreservation(NewMix(n), 0x1000, 4096); got > 0.05 {
+		t.Errorf("mix stride preservation = %v, want near 0", got)
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	const n = 65536
+	mix := AvalancheScore(NewMix(n), 50, 1)
+	if mix < 0.4 || mix > 0.6 {
+		t.Errorf("mix avalanche = %.3f, want ~0.5", mix)
+	}
+	mask := AvalancheScore(NewMask(n), 50, 1)
+	if mask > 0.2 {
+		t.Errorf("mask avalanche = %.3f, want small (mask ignores high bits)", mask)
+	}
+}
+
+func TestCollisionRateUniform(t *testing.T) {
+	r := xrand.New(11)
+	blocks := make([]addr.Block, 4096)
+	for i := range blocks {
+		blocks[i] = addr.Block(r.Uint64())
+	}
+	const n = 4096
+	for _, f := range allFuncs(n) {
+		got := CollisionRate(f, blocks)
+		want := 1.0 / n
+		if got > 3*want {
+			t.Errorf("%s: collision rate %.6f, want ~%.6f", f.Name(), got, want)
+		}
+	}
+}
+
+func TestCollisionRateDegenerate(t *testing.T) {
+	if got := CollisionRate(NewMask(8), nil); got != 0 {
+		t.Errorf("empty collision rate = %v", got)
+	}
+	same := []addr.Block{5, 5, 5}
+	if got := CollisionRate(NewMask(8), same); got != 1 {
+		t.Errorf("identical-blocks collision rate = %v, want 1", got)
+	}
+}
+
+func TestMaskAliasFloorSurvivesLargeTables(t *testing.T) {
+	// Two streams at the same offsets within 16 MiB-aligned arenas collide
+	// under Mask for any table of up to 16 MiB/64 B = 256k entries. This is
+	// the mechanism behind Figure 2(b)'s asymptote.
+	const arena = 16 << 20
+	a0 := addr.Addr(1 * arena)
+	a1 := addr.Addr(5 * arena)
+	for _, n := range []uint64{1024, 65536, 262144} {
+		f := NewMask(n)
+		for off := uint64(0); off < 4096; off += 64 {
+			b0 := addr.BlockOf(a0 + addr.Addr(off))
+			b1 := addr.BlockOf(a1 + addr.Addr(off))
+			if f.Index(b0) != f.Index(b1) {
+				t.Fatalf("N=%d: aligned-arena blocks at offset %#x do not alias", n, off)
+			}
+		}
+	}
+}
+
+func BenchmarkMask(b *testing.B) {
+	f := NewMask(65536)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = f.Index(addr.Block(i))
+	}
+	_ = sink
+}
+
+func BenchmarkFibonacci(b *testing.B) {
+	f := NewFibonacci(65536)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = f.Index(addr.Block(i))
+	}
+	_ = sink
+}
+
+func BenchmarkMix(b *testing.B) {
+	f := NewMix(65536)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = f.Index(addr.Block(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,119 @@
+package hash
+
+import (
+	"math"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/xrand"
+)
+
+// Diagnostics in this file quantify how well a hash function spreads
+// realistic address streams across a table. They back the hash-choice
+// ablation for Figure 2 and the package's own tests.
+
+// ChiSquare hashes the given blocks and returns the chi-square statistic of
+// the resulting bucket occupancy against the uniform expectation. Values
+// near the number of table entries indicate uniform spreading.
+func ChiSquare(f Func, blocks []addr.Block) float64 {
+	n := f.N()
+	counts := make([]uint64, n)
+	for _, b := range blocks {
+		counts[f.Index(b)]++
+	}
+	expected := float64(len(blocks)) / float64(n)
+	if expected == 0 {
+		return 0
+	}
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2
+}
+
+// CollisionRate returns the fraction of distinct block pairs in the sample
+// that hash to the same index. For a uniform hash over n entries the
+// expectation is ~1/n.
+func CollisionRate(f Func, blocks []addr.Block) float64 {
+	if len(blocks) < 2 {
+		return 0
+	}
+	counts := make(map[uint64]uint64, len(blocks))
+	for _, b := range blocks {
+		counts[f.Index(b)]++
+	}
+	var colliding uint64
+	for _, c := range counts {
+		colliding += c * (c - 1) / 2
+	}
+	total := uint64(len(blocks)) * uint64(len(blocks)-1) / 2
+	return float64(colliding) / float64(total)
+}
+
+// AvalancheScore estimates output-bit sensitivity: for random inputs and
+// each single-bit input flip, the fraction of output index bits that change.
+// An ideal mixer scores ~0.5; Mask scores poorly by construction. samples
+// controls the number of random probes.
+func AvalancheScore(f Func, samples int, seed uint64) float64 {
+	r := xrand.New(seed)
+	n := f.N()
+	bits := 0
+	for v := n; v > 1; v >>= 1 {
+		bits++
+	}
+	if bits == 0 || samples <= 0 {
+		return 0
+	}
+	flipped, total := 0, 0
+	for s := 0; s < samples; s++ {
+		b := addr.Block(r.Uint64())
+		base := f.Index(b)
+		for i := 0; i < 40; i++ { // flip each of the low 40 input bits
+			alt := f.Index(b ^ (1 << uint(i)))
+			diff := base ^ alt
+			for j := 0; j < bits; j++ {
+				if diff>>uint(j)&1 == 1 {
+					flipped++
+				}
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(flipped) / float64(total)
+}
+
+// StridePreservation measures the fraction of stride-1 block pairs whose
+// indices are also adjacent (mod N). Mask scores 1.0; strong mixers score
+// ~2/N. This is the property responsible for real traces "mapping to
+// consecutive entries of the ownership table" (paper, Section 4).
+func StridePreservation(f Func, start addr.Block, count int) float64 {
+	if count < 2 {
+		return 0
+	}
+	n := f.N()
+	adjacent := 0
+	prev := f.Index(start)
+	for i := 1; i < count; i++ {
+		cur := f.Index(start + addr.Block(i))
+		if (prev+1)%n == cur {
+			adjacent++
+		}
+		prev = cur
+	}
+	return float64(adjacent) / float64(count-1)
+}
+
+// UniformityPValueish converts a chi-square statistic over k buckets into a
+// crude standardized score: (chi2 - df) / sqrt(2 df) with df = k-1. Scores
+// within ±4 are consistent with uniformity for the sample sizes used here.
+func UniformityPValueish(chi2 float64, buckets uint64) float64 {
+	df := float64(buckets - 1)
+	if df <= 0 {
+		return 0
+	}
+	return (chi2 - df) / math.Sqrt(2*df)
+}

@@ -1,0 +1,80 @@
+package model
+
+import "math"
+
+// This file holds the classic birthday-paradox quantities the paper invokes
+// (Section 3): the alias behavior of an ownership table is the same
+// phenomenon — collisions become likely long before the table is full.
+
+// BirthdayCollisionProb returns the probability that among n independent
+// uniform choices over d "days", at least two coincide:
+//
+//	1 − d!/(d−n)!/dⁿ = 1 − Π_{k=0}^{n−1} (1 − k/d)
+//
+// computed in log space for stability. n > d forces a collision
+// (probability 1); n < 2 cannot collide (probability 0).
+func BirthdayCollisionProb(n int, d int) float64 {
+	if d <= 0 || n > d {
+		if n >= 2 {
+			return 1
+		}
+		return 0
+	}
+	if n < 2 {
+		return 0
+	}
+	logNone := 0.0
+	for k := 1; k < n; k++ {
+		logNone += math.Log1p(-float64(k) / float64(d))
+	}
+	return -math.Expm1(logNone)
+}
+
+// BirthdayThreshold returns the smallest n such that the collision
+// probability among n choices over d days reaches p. For d = 365 and
+// p = 0.5 it returns the famous 23.
+func BirthdayThreshold(p float64, d int) int {
+	if p <= 0 {
+		return 0
+	}
+	for n := 2; ; n++ {
+		if BirthdayCollisionProb(n, d) >= p {
+			return n
+		}
+		if n > d {
+			return n // collision certain past d+1
+		}
+	}
+}
+
+// ExpectedDistinct returns the expected number of distinct entries occupied
+// after n uniform throws into d entries: d(1 − (1−1/d)ⁿ).
+func ExpectedDistinct(n int, d int) float64 {
+	if d <= 0 || n <= 0 {
+		return 0
+	}
+	return float64(d) * -math.Expm1(float64(n)*math.Log1p(-1/float64(d)))
+}
+
+// ExpectedCollisions returns the expected number of throws that landed on
+// an already-occupied entry: n − ExpectedDistinct(n, d).
+func ExpectedCollisions(n int, d int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) - ExpectedDistinct(n, d)
+}
+
+// BirthdayApprox is the standard 1 − exp(−n(n−1)/(2d)) approximation, the
+// same exponential shape as SaturatingConflict — this is the formal sense
+// in which ownership-table aliasing "is" the birthday paradox.
+func BirthdayApprox(n int, d int) float64 {
+	if d <= 0 {
+		if n >= 2 {
+			return 1
+		}
+		return 0
+	}
+	nf := float64(n)
+	return -math.Expm1(-nf * (nf - 1) / (2 * float64(d)))
+}

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBirthdayClassic(t *testing.T) {
+	// The paper's framing: 23 people suffice for >50% shared-birthday odds.
+	if got := BirthdayCollisionProb(23, 365); got <= 0.5 {
+		t.Errorf("P(collision | 23 people) = %v, want > 0.5", got)
+	}
+	if got := BirthdayCollisionProb(22, 365); got >= 0.5 {
+		t.Errorf("P(collision | 22 people) = %v, want < 0.5", got)
+	}
+	if got := BirthdayThreshold(0.5, 365); got != 23 {
+		t.Errorf("BirthdayThreshold(0.5, 365) = %d, want 23", got)
+	}
+}
+
+func TestBirthdayKnownValue(t *testing.T) {
+	// P(collision | 23, 365) = 0.507297... (standard reference value).
+	got := BirthdayCollisionProb(23, 365)
+	if math.Abs(got-0.507297) > 1e-5 {
+		t.Errorf("P = %.6f, want 0.507297", got)
+	}
+}
+
+func TestBirthdayEdges(t *testing.T) {
+	if BirthdayCollisionProb(0, 365) != 0 || BirthdayCollisionProb(1, 365) != 0 {
+		t.Error("fewer than 2 people cannot collide")
+	}
+	if BirthdayCollisionProb(366, 365) != 1 {
+		t.Error("pigeonhole: 366 people must collide")
+	}
+	if BirthdayCollisionProb(2, 0) != 1 {
+		t.Error("zero days with 2 people must collide")
+	}
+}
+
+func TestBirthdayMonotoneInN(t *testing.T) {
+	prev := 0.0
+	for n := 2; n <= 365; n++ {
+		cur := BirthdayCollisionProb(n, 365)
+		if cur < prev {
+			t.Fatalf("probability decreased at n=%d", n)
+		}
+		prev = cur
+	}
+}
+
+func TestBirthdayApproxTracksExact(t *testing.T) {
+	for _, n := range []int{5, 10, 23, 40, 60} {
+		exact := BirthdayCollisionProb(n, 365)
+		approx := BirthdayApprox(n, 365)
+		if math.Abs(exact-approx) > 0.02 {
+			t.Errorf("n=%d: exact %.4f vs approx %.4f", n, exact, approx)
+		}
+	}
+}
+
+func TestExpectedDistinct(t *testing.T) {
+	// Throwing d ln d balls into d bins covers ~(1-1/e)… sanity: n=d gives
+	// d(1-(1-1/d)^d) ≈ d(1-1/e).
+	d := 1000
+	got := ExpectedDistinct(d, d)
+	want := float64(d) * (1 - math.Exp(-1))
+	if math.Abs(got-want) > 1 {
+		t.Errorf("ExpectedDistinct(%d,%d) = %v, want ~%v", d, d, got, want)
+	}
+	if ExpectedDistinct(0, 100) != 0 {
+		t.Error("no throws, no occupancy")
+	}
+}
+
+func TestExpectedCollisionsSmall(t *testing.T) {
+	// With n << d, collisions ≈ n(n-1)/(2d).
+	n, d := 30, 100000
+	got := ExpectedCollisions(n, d)
+	want := float64(n) * float64(n-1) / (2 * float64(d))
+	if math.Abs(got-want) > 0.001 {
+		t.Errorf("ExpectedCollisions = %v, want ~%v", got, want)
+	}
+}
+
+func TestThresholdScalesWithSqrtD(t *testing.T) {
+	// The birthday threshold grows like sqrt(2 d ln 2): quadrupling d
+	// should roughly double the threshold.
+	t1 := BirthdayThreshold(0.5, 1000)
+	t4 := BirthdayThreshold(0.5, 4000)
+	ratio := float64(t4) / float64(t1)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("threshold ratio for 4x days = %v, want ~2", ratio)
+	}
+}

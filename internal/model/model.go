@@ -1,0 +1,156 @@
+// Package model implements the paper's analytical model (Section 3) of
+// alias-induced conflicts in a tagless ownership table, together with the
+// classic birthday-paradox quantities it is related to.
+//
+// The model considers C transactions progressing in lock step, each
+// repeatedly reading α new cache blocks and then writing one new cache
+// block, with every block mapped uniformly at random to one of N ownership
+// table entries. A conflict occurs when a transaction's new block lands on
+// an entry another transaction holds, with at least one side writing.
+//
+// The paper derives (its equation numbers in parentheses):
+//
+//	Δconflict(W_B)      = ((1+2α)W_B − α) / N                      (Eq. 2, C=2, per write step, both directions)
+//	conflict(W)         = (1+2α) W² / N                            (Eq. 4, C=2)
+//	Δconflict(C, W)     = (C−1)((1+2α)W − α) / N                   (Eq. 6)
+//	conflict(C, W)      = C(C−1)(1+2α) W² / (2N)                   (Eq. 8)
+//
+// All of these use the independence ("sum of probabilities") approximation
+// the paper adopts for the region of interest; they can exceed 1 for large
+// W. SaturatingConflict applies the complementary-product correction
+// 1 − exp(−λ), which is what the Monte-Carlo simulations actually measure
+// when rates are high (compare Figure 4).
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes one lock-step configuration of the model.
+type Params struct {
+	// W is the number of cache blocks each transaction writes.
+	W int
+	// Alpha is the ratio of reads to writes: Alpha new blocks are read for
+	// every block written (α in the paper; the empirical value from the
+	// paper's Section 2.3 is 2).
+	Alpha float64
+	// C is the number of concurrently executing transactions.
+	C int
+	// N is the number of ownership table entries.
+	N float64
+}
+
+// Validate reports whether the parameters are in the model's domain.
+func (p Params) Validate() error {
+	switch {
+	case p.W < 0:
+		return fmt.Errorf("model: W = %d must be >= 0", p.W)
+	case p.Alpha < 0:
+		return fmt.Errorf("model: alpha = %v must be >= 0", p.Alpha)
+	case p.C < 2:
+		return fmt.Errorf("model: C = %d must be >= 2 (a single transaction cannot conflict)", p.C)
+	case p.N <= 0:
+		return fmt.Errorf("model: N = %v must be > 0", p.N)
+	}
+	return nil
+}
+
+// Footprint returns the total block footprint of one transaction:
+// W writes plus αW reads.
+func (p Params) Footprint() float64 { return float64(p.W) * (1 + p.Alpha) }
+
+// StepConflict returns the incremental conflict likelihood contributed by
+// one transaction taking its w-th step (reading α new blocks then writing
+// its w-th block) against the current footprints of the other C−1
+// transactions — the paper's Equation 6 (Equation 2 when C = 2).
+func (p Params) StepConflict(w int) float64 {
+	if w < 1 {
+		return 0
+	}
+	return float64(p.C-1) * ((1+2*p.Alpha)*float64(w) - p.Alpha) / p.N
+}
+
+// SummedConflict evaluates the model by direct summation of the per-step
+// likelihoods over all C transactions and all W steps, including the
+// paper's double-counting compensation — Equation 7 (Equation 3 for C=2).
+// It equals ClosedConflict exactly; both are provided so tests can verify
+// the paper's algebra.
+func (p Params) SummedConflict() float64 {
+	c := float64(p.C)
+	sum := 0.0
+	for w := 1; w <= p.W; w++ {
+		sum += (c*(c-1)*((1+2*p.Alpha)*float64(w)-p.Alpha) - c/2*(c-1)) / p.N
+	}
+	return sum
+}
+
+// ClosedConflict returns the closed-form conflict likelihood
+// C(C−1)(1+2α)W²/(2N) — the paper's Equation 8 (Equation 4 for C=2).
+// Like the paper's formula it is an expectation-style approximation and may
+// exceed 1.
+func (p Params) ClosedConflict() float64 {
+	c := float64(p.C)
+	w := float64(p.W)
+	return c * (c - 1) * (1 + 2*p.Alpha) * w * w / (2 * p.N)
+}
+
+// SaturatingConflict converts the closed-form rate λ into a probability via
+// 1 − exp(−λ), the limit of the complementary product over many small
+// independent hazards. This is the curve the Monte-Carlo simulations trace
+// once conflict rates leave the small-probability regime.
+func (p Params) SaturatingConflict() float64 {
+	return 1 - math.Exp(-p.ClosedConflict())
+}
+
+// CommitProbability returns the saturating probability that a transaction
+// group completes without any alias conflict.
+func (p Params) CommitProbability() float64 {
+	return math.Exp(-p.ClosedConflict())
+}
+
+// TableSizeFor returns the minimum ownership table size N such that the
+// group commit probability is at least commitProb, by inverting Equation 8
+// in its independence form (as the paper's back-of-envelope calculation
+// does):
+//
+//	N ≥ C(C−1)(1+2α)W² / (2 (1 − commitProb))
+//
+// It returns an error for commitProb outside (0, 1).
+func TableSizeFor(commitProb float64, w int, alpha float64, c int) (float64, error) {
+	if commitProb <= 0 || commitProb >= 1 {
+		return 0, fmt.Errorf("model: commit probability %v must be in (0, 1)", commitProb)
+	}
+	if c < 2 {
+		return 0, fmt.Errorf("model: C = %d must be >= 2", c)
+	}
+	if w < 1 {
+		return 0, fmt.Errorf("model: W = %d must be >= 1", w)
+	}
+	cf := float64(c)
+	wf := float64(w)
+	return cf * (cf - 1) * (1 + 2*alpha) * wf * wf / (2 * (1 - commitProb)), nil
+}
+
+// FootprintFor inverts the model in the other direction: the largest write
+// footprint W sustaining the given commit probability on an N-entry table.
+func FootprintFor(commitProb float64, n float64, alpha float64, c int) (float64, error) {
+	if commitProb <= 0 || commitProb >= 1 {
+		return 0, fmt.Errorf("model: commit probability %v must be in (0, 1)", commitProb)
+	}
+	if c < 2 {
+		return 0, fmt.Errorf("model: C = %d must be >= 2", c)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("model: N = %v must be > 0", n)
+	}
+	cf := float64(c)
+	return math.Sqrt(2 * n * (1 - commitProb) / (cf * (cf - 1) * (1 + 2*alpha))), nil
+}
+
+// ConcurrencyScaling returns the ratio of conflict likelihoods between
+// concurrency c2 and c1 with all else fixed: c2(c2−1) / (c1(c1−1)). The
+// paper highlights the value 6 for c1=2, c2=4 as "exactly predicted".
+func ConcurrencyScaling(c1, c2 int) float64 {
+	return float64(c2) * float64(c2-1) / (float64(c1) * float64(c1-1))
+}

@@ -1,0 +1,230 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := Params{W: 10, Alpha: 2, C: 2, N: 1024}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{W: -1, Alpha: 2, C: 2, N: 1024},
+		{W: 10, Alpha: -0.5, C: 2, N: 1024},
+		{W: 10, Alpha: 2, C: 1, N: 1024},
+		{W: 10, Alpha: 2, C: 2, N: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+// TestSummedEqualsClosed verifies the paper's algebra: Equation 7 (direct
+// summation with double-counting compensation) reduces exactly to
+// Equation 8 (closed form), for all C, and Equation 3 to Equation 4 at C=2.
+func TestSummedEqualsClosed(t *testing.T) {
+	check := func(wRaw, cRaw, aRaw, nRaw uint8) bool {
+		p := Params{
+			W:     int(wRaw % 100),
+			Alpha: float64(aRaw%8) / 2,
+			C:     int(cRaw%7) + 2,
+			N:     float64(nRaw%200)*64 + 64,
+		}
+		s, c := p.SummedConflict(), p.ClosedConflict()
+		return math.Abs(s-c) <= 1e-9*(1+math.Abs(c))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEquation8ReducesToEquation4 checks the C=2 specialization the paper
+// states: Eq. 8 evaluated at C=2 equals (1+2α)W²/N.
+func TestEquation8ReducesToEquation4(t *testing.T) {
+	for _, w := range []int{1, 5, 20, 71} {
+		for _, alpha := range []float64{0, 1, 2, 3.5} {
+			p := Params{W: w, Alpha: alpha, C: 2, N: 4096}
+			eq4 := (1 + 2*alpha) * float64(w) * float64(w) / p.N
+			if got := p.ClosedConflict(); math.Abs(got-eq4) > 1e-12 {
+				t.Errorf("W=%d α=%v: Eq8|C=2 = %v, Eq4 = %v", w, alpha, got, eq4)
+			}
+		}
+	}
+}
+
+// TestPaperSizingAnchors reproduces the back-of-envelope numbers in
+// Sections 3.1 and 3.2: W=71, α=2 ⇒ >50k entries for 50% commit, >500k for
+// 95%, and >14M at C=8.
+func TestPaperSizingAnchors(t *testing.T) {
+	n50, err := TableSizeFor(0.50, 71, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n50 <= 50000 || n50 > 51000 {
+		t.Errorf("N for 50%% commit = %v, paper says just over 50,000", n50)
+	}
+	n95, err := TableSizeFor(0.95, 71, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n95 <= 500000 || n95 > 510000 {
+		t.Errorf("N for 95%% commit = %v, paper says over half a million", n95)
+	}
+	n95c8, err := TableSizeFor(0.95, 71, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n95c8 <= 14e6 || n95c8 > 14.5e6 {
+		t.Errorf("N for 95%% commit at C=8 = %v, paper says over 14 million", n95c8)
+	}
+}
+
+func TestTableSizeForErrors(t *testing.T) {
+	cases := []struct {
+		p     float64
+		w, c  int
+		alpha float64
+	}{
+		{0, 10, 2, 2}, {1, 10, 2, 2}, {0.5, 0, 2, 2}, {0.5, 10, 1, 2},
+	}
+	for _, c := range cases {
+		if _, err := TableSizeFor(c.p, c.w, c.alpha, c.c); err == nil {
+			t.Errorf("TableSizeFor(%v, %d, %v, %d) accepted", c.p, c.w, c.alpha, c.c)
+		}
+	}
+}
+
+// TestSizingRoundTrip: FootprintFor inverts TableSizeFor.
+func TestSizingRoundTrip(t *testing.T) {
+	check := func(wRaw, cRaw uint8) bool {
+		w := int(wRaw%100) + 1
+		c := int(cRaw%7) + 2
+		n, err := TableSizeFor(0.9, w, 2, c)
+		if err != nil {
+			return false
+		}
+		wBack, err := FootprintFor(0.9, n, 2, c)
+		if err != nil {
+			return false
+		}
+		return math.Abs(wBack-float64(w)) < 1e-9*float64(w)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuadraticScaling: doubling W quadruples the closed-form likelihood.
+func TestQuadraticScaling(t *testing.T) {
+	base := Params{W: 10, Alpha: 2, C: 2, N: 1 << 20}
+	doubled := base
+	doubled.W = 20
+	ratio := doubled.ClosedConflict() / base.ClosedConflict()
+	if math.Abs(ratio-4) > 1e-12 {
+		t.Fatalf("doubling W scaled conflicts by %v, want 4", ratio)
+	}
+}
+
+// TestInverseTableScaling: doubling N halves the closed-form likelihood.
+func TestInverseTableScaling(t *testing.T) {
+	base := Params{W: 10, Alpha: 2, C: 2, N: 4096}
+	bigger := base
+	bigger.N = 8192
+	ratio := base.ClosedConflict() / bigger.ClosedConflict()
+	if math.Abs(ratio-2) > 1e-12 {
+		t.Fatalf("doubling N scaled conflicts by 1/%v, want 1/2", ratio)
+	}
+}
+
+// TestConcurrencyScaling: the paper's "factor of six" from C=2 to C=4.
+func TestConcurrencyScaling(t *testing.T) {
+	if got := ConcurrencyScaling(2, 4); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("C=2→4 scaling = %v, want 6", got)
+	}
+	if got := ConcurrencyScaling(2, 8); math.Abs(got-28) > 1e-12 {
+		t.Fatalf("C=2→8 scaling = %v, want 28", got)
+	}
+	p2 := Params{W: 10, Alpha: 2, C: 2, N: 1 << 20}
+	p4 := p2
+	p4.C = 4
+	if ratio := p4.ClosedConflict() / p2.ClosedConflict(); math.Abs(ratio-6) > 1e-12 {
+		t.Fatalf("model C=2→4 ratio = %v", ratio)
+	}
+}
+
+// TestFigure4TableSizeLadder reproduces the Figure 4(a) anchor: at W=8,
+// α=2, C=2 the saturating model tracks the measured 48/27/14/7.7% ladder
+// for N = 512/1024/2048/4096.
+func TestFigure4TableSizeLadder(t *testing.T) {
+	want := map[float64]float64{512: 0.48, 1024: 0.27, 2048: 0.14, 4096: 0.077}
+	for n, target := range want {
+		p := Params{W: 8, Alpha: 2, C: 2, N: n}
+		got := p.SaturatingConflict()
+		if math.Abs(got-target) > 0.02 {
+			t.Errorf("N=%v: saturating conflict = %.3f, paper measured %.3f", n, got, target)
+		}
+	}
+}
+
+func TestSaturatingBounds(t *testing.T) {
+	check := func(wRaw, cRaw, nRaw uint8) bool {
+		p := Params{
+			W:     int(wRaw % 200),
+			Alpha: 2,
+			C:     int(cRaw%7) + 2,
+			N:     float64(nRaw%100)*16 + 16,
+		}
+		s := p.SaturatingConflict()
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitPlusConflictIsOne(t *testing.T) {
+	p := Params{W: 30, Alpha: 2, C: 4, N: 65536}
+	if got := p.CommitProbability() + p.SaturatingConflict(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("commit + conflict = %v", got)
+	}
+}
+
+func TestStepConflictMatchesPaperEq2(t *testing.T) {
+	// Eq. 2 at C=2: ((1+2α)W_B − α)/N for the A-side steps.
+	p := Params{W: 10, Alpha: 2, C: 2, N: 1000}
+	for w := 1; w <= 10; w++ {
+		want := ((1+2*p.Alpha)*float64(w) - p.Alpha) / p.N
+		if got := p.StepConflict(w); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("StepConflict(%d) = %v, want %v", w, got, want)
+		}
+	}
+	if p.StepConflict(0) != 0 {
+		t.Fatal("StepConflict(0) should be 0")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	base := Params{W: 10, Alpha: 2, C: 2, N: 4096}
+	prev := base.ClosedConflict()
+	for w := 11; w <= 50; w++ {
+		p := base
+		p.W = w
+		cur := p.ClosedConflict()
+		if cur <= prev {
+			t.Fatalf("conflict not increasing at W=%d", w)
+		}
+		prev = cur
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	p := Params{W: 71, Alpha: 2, C: 2, N: 1}
+	if got := p.Footprint(); math.Abs(got-213) > 1e-12 {
+		t.Fatalf("footprint = %v, want 213 (71 writes + 142 reads)", got)
+	}
+}

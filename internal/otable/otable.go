@@ -1,0 +1,206 @@
+// Package otable implements the ownership tables at the center of the paper:
+// the metadata structure a word-based STM uses to track which transactions
+// hold read and write permissions on which regions of memory.
+//
+// Two organizations are provided:
+//
+//   - Tagless (Section 2.1, Figure 1): a flat table of entries, each packing
+//     {mode, owner-or-sharer-count} into one atomic word. Addresses are
+//     hashed to entries and the address itself is not stored, so two
+//     distinct addresses that map to the same entry are indistinguishable —
+//     the source of the false conflicts the paper quantifies.
+//
+//   - Tagged (Section 5, Figure 7): buckets hold either a single inline
+//     ownership record or a chain of records, each carrying the address tag.
+//     Aliasing addresses get separate records, so false conflicts cannot
+//     occur; the cost is tag storage and (rarely) chain traversal.
+//
+// Both implementations are safe for concurrent use and keep the statistics
+// the experiments report.
+package otable
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/hash"
+)
+
+// TxID identifies a transaction (equivalently, the thread executing it; the
+// paper uses the terms interchangeably for ownership purposes). The zero
+// value is a valid ID.
+type TxID uint32
+
+// Mode is the state of an ownership slot.
+type Mode uint8
+
+// Slot modes, matching the paper's Figure 1 entry types.
+const (
+	Free Mode = iota
+	Read
+	Write
+)
+
+// String returns the mode name as used in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case Free:
+		return "Free"
+	case Read:
+		return "Read"
+	case Write:
+		return "Write"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Outcome is the result of an acquire attempt.
+type Outcome uint8
+
+const (
+	// Granted means the permission was newly obtained; the caller owes a
+	// matching release.
+	Granted Outcome = iota
+	// AlreadyHeld means the transaction already had sufficient permission
+	// on the slot; no new release obligation is created.
+	AlreadyHeld
+	// Upgraded means the transaction's read share(s) were converted to
+	// exclusive write ownership; its read obligations on the slot are
+	// replaced by a single write obligation.
+	Upgraded
+	// ConflictWriter means another transaction holds write permission.
+	ConflictWriter
+	// ConflictReaders means one or more other transactions hold read
+	// permission, blocking a write acquire.
+	ConflictReaders
+)
+
+// Conflict reports whether the outcome denied the acquire.
+func (o Outcome) Conflict() bool { return o == ConflictWriter || o == ConflictReaders }
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Granted:
+		return "Granted"
+	case AlreadyHeld:
+		return "AlreadyHeld"
+	case Upgraded:
+		return "Upgraded"
+	case ConflictWriter:
+		return "ConflictWriter"
+	case ConflictReaders:
+		return "ConflictReaders"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Table is the common interface of the two ownership table organizations.
+//
+// Callers are responsible for tracking their own holdings per slot (see
+// Footprint): AcquireWrite must be told how many read shares the calling
+// transaction already holds on the target slot so that read→write upgrades
+// can be distinguished from reader conflicts — the tagless table cannot know
+// who its anonymous sharers are.
+type Table interface {
+	// Kind returns "tagless" or "tagged".
+	Kind() string
+	// N returns the number of first-level entries.
+	N() uint64
+	// SlotOf returns the slot key for a block: the table entry index for
+	// tagless tables (aliasing blocks share a slot) and the block number
+	// itself for tagged tables (every block has its own slot).
+	SlotOf(b addr.Block) uint64
+	// AcquireRead requests shared permission on b for tx.
+	AcquireRead(tx TxID, b addr.Block) Outcome
+	// AcquireWrite requests exclusive permission on b for tx. heldReads is
+	// the number of read shares tx currently holds on SlotOf(b).
+	AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome
+	// ReleaseRead returns one read share on b's slot. It panics if the slot
+	// holds no read permission (a caller bookkeeping bug).
+	ReleaseRead(tx TxID, b addr.Block)
+	// ReleaseWrite returns write ownership of b's slot. It panics if tx is
+	// not the writer of record.
+	ReleaseWrite(tx TxID, b addr.Block)
+	// Occupied returns the number of non-free first-level entries (the
+	// occupancy measure used for the paper's Figure 6(b) compensation).
+	Occupied() uint64
+	// Stats returns a snapshot of the operation counters.
+	Stats() Stats
+	// Reset returns the table to empty and zeroes its statistics. Not safe
+	// to call concurrently with other operations.
+	Reset()
+}
+
+// Stats is a snapshot of table operation counters.
+type Stats struct {
+	ReadAcquires  uint64 // successful read acquires (Granted or AlreadyHeld)
+	WriteAcquires uint64 // successful write acquires (Granted, AlreadyHeld, or Upgraded)
+	Upgrades      uint64 // read→write upgrades
+	Conflicts     uint64 // denied acquires
+	Releases      uint64 // release operations
+	ChainFollows  uint64 // tagged only: chain links traversed past a bucket head
+	Records       uint64 // tagged only: live ownership records
+	MaxChain      uint64 // tagged only: maximum bucket chain length observed
+}
+
+// counters is the shared atomic implementation behind Stats.
+type counters struct {
+	readAcquires  atomic.Uint64
+	writeAcquires atomic.Uint64
+	upgrades      atomic.Uint64
+	conflicts     atomic.Uint64
+	releases      atomic.Uint64
+	chainFollows  atomic.Uint64
+	records       atomic.Uint64
+	maxChain      atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		ReadAcquires:  c.readAcquires.Load(),
+		WriteAcquires: c.writeAcquires.Load(),
+		Upgrades:      c.upgrades.Load(),
+		Conflicts:     c.conflicts.Load(),
+		Releases:      c.releases.Load(),
+		ChainFollows:  c.chainFollows.Load(),
+		Records:       c.records.Load(),
+		MaxChain:      c.maxChain.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.readAcquires.Store(0)
+	c.writeAcquires.Store(0)
+	c.upgrades.Store(0)
+	c.conflicts.Store(0)
+	c.releases.Store(0)
+	c.chainFollows.Store(0)
+	c.records.Store(0)
+	c.maxChain.Store(0)
+}
+
+func (c *counters) observeChain(n uint64) {
+	for {
+		cur := c.maxChain.Load()
+		if n <= cur || c.maxChain.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// New constructs a table by kind name ("tagless" or "tagged") over the given
+// hash function.
+func New(kind string, h hash.Func) (Table, error) {
+	switch kind {
+	case "tagless":
+		return NewTagless(h), nil
+	case "tagged":
+		return NewTagged(h), nil
+	default:
+		return nil, fmt.Errorf("otable: unknown table kind %q (want tagless or tagged)", kind)
+	}
+}

@@ -1,0 +1,278 @@
+package otable
+
+import (
+	"fmt"
+	"sync"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/hash"
+)
+
+// Tagged is the chaining ownership table of Figure 7. Each first-level
+// bucket holds zero or more ownership records; each record carries the full
+// block tag, so distinct blocks that hash together coexist on a chain and
+// false conflicts are impossible. As the paper argues, the overwhelming
+// majority of buckets hold 0 or 1 records at sane load factors, so the
+// expected cost over tagless is one tag compare.
+//
+// Concurrency is provided by striped locks over the buckets: the paper's
+// design point is storage organization, not lock-freedom, and striping keeps
+// the fast path to a single uncontended mutex.
+type Tagged struct {
+	h       hash.Func
+	buckets []*record
+	stripes []sync.Mutex
+	mask    uint64 // stripe index mask
+	occ     int64  // non-empty buckets; guarded by aggregate of stripes (updated under stripe lock, read racily via Occupied)
+	occMu   sync.Mutex
+	stats   counters
+}
+
+// record is one ownership record: the tagged equivalent of a tagless entry,
+// plus the tag and chain pointer.
+type record struct {
+	tag     addr.Block
+	mode    Mode
+	owner   TxID   // valid when mode == Write
+	sharers uint32 // valid when mode == Read
+	next    *record
+}
+
+// defaultStripes is the number of bucket locks. 256 keeps contention
+// negligible for the thread counts in the paper (≤ 8) while bounding memory.
+const defaultStripes = 256
+
+// NewTagged builds a tagged chaining table sized and indexed by h.
+func NewTagged(h hash.Func) *Tagged {
+	n := h.N()
+	stripes := uint64(defaultStripes)
+	if n < stripes {
+		stripes = n
+	}
+	return &Tagged{
+		h:       h,
+		buckets: make([]*record, n),
+		stripes: make([]sync.Mutex, stripes),
+		mask:    stripes - 1,
+	}
+}
+
+// Kind implements Table.
+func (t *Tagged) Kind() string { return "tagged" }
+
+// N implements Table.
+func (t *Tagged) N() uint64 { return t.h.N() }
+
+// Hash returns the address-to-bucket hash function.
+func (t *Tagged) Hash() hash.Func { return t.h }
+
+// SlotOf implements Table: every block is its own slot, because records are
+// per-block.
+func (t *Tagged) SlotOf(b addr.Block) uint64 { return uint64(b) }
+
+// lockFor locks the stripe covering bucket idx and returns it.
+func (t *Tagged) lockFor(idx uint64) *sync.Mutex {
+	m := &t.stripes[idx&t.mask]
+	m.Lock()
+	return m
+}
+
+// find walks the bucket chain for tag b, counting traversals, and returns
+// the record and its chain depth (0 = bucket head), or nil.
+func (t *Tagged) find(idx uint64, b addr.Block) *record {
+	depth := uint64(0)
+	for r := t.buckets[idx]; r != nil; r = r.next {
+		if r.tag == b {
+			if depth > 0 {
+				t.stats.chainFollows.Add(depth)
+			}
+			return r
+		}
+		depth++
+	}
+	if depth > 1 {
+		t.stats.chainFollows.Add(depth - 1)
+	}
+	return nil
+}
+
+// insert prepends a record to bucket idx and maintains occupancy and chain
+// statistics. Caller holds the stripe lock.
+func (t *Tagged) insert(idx uint64, r *record) {
+	if t.buckets[idx] == nil {
+		t.occMu.Lock()
+		t.occ++
+		t.occMu.Unlock()
+	}
+	r.next = t.buckets[idx]
+	t.buckets[idx] = r
+	t.stats.records.Add(1)
+	n := uint64(0)
+	for c := t.buckets[idx]; c != nil; c = c.next {
+		n++
+	}
+	t.stats.observeChain(n)
+}
+
+// remove unlinks the record with tag b from bucket idx. Caller holds the
+// stripe lock. It panics if the record is absent (caller bookkeeping bug).
+func (t *Tagged) remove(idx uint64, b addr.Block) {
+	p := &t.buckets[idx]
+	for *p != nil {
+		if (*p).tag == b {
+			*p = (*p).next
+			t.stats.records.Add(^uint64(0)) // -1
+			if t.buckets[idx] == nil {
+				t.occMu.Lock()
+				t.occ--
+				t.occMu.Unlock()
+			}
+			return
+		}
+		p = &(*p).next
+	}
+	panic(fmt.Sprintf("otable: tagged remove of absent record for block %v", b))
+}
+
+// AcquireRead implements Table.
+func (t *Tagged) AcquireRead(tx TxID, b addr.Block) Outcome {
+	idx := t.h.Index(b)
+	m := t.lockFor(idx)
+	defer m.Unlock()
+	r := t.find(idx, b)
+	switch {
+	case r == nil:
+		t.insert(idx, &record{tag: b, mode: Read, sharers: 1})
+		t.stats.readAcquires.Add(1)
+		return Granted
+	case r.mode == Read:
+		r.sharers++
+		t.stats.readAcquires.Add(1)
+		return Granted
+	case r.owner == tx:
+		t.stats.readAcquires.Add(1)
+		return AlreadyHeld
+	default:
+		t.stats.conflicts.Add(1)
+		return ConflictWriter
+	}
+}
+
+// AcquireWrite implements Table. Because records are per-block, a conflict
+// here is always a *true* conflict: the same block is held by another
+// transaction.
+func (t *Tagged) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
+	idx := t.h.Index(b)
+	m := t.lockFor(idx)
+	defer m.Unlock()
+	r := t.find(idx, b)
+	switch {
+	case r == nil:
+		t.insert(idx, &record{tag: b, mode: Write, owner: tx})
+		t.stats.writeAcquires.Add(1)
+		return Granted
+	case r.mode == Read:
+		if heldReads > r.sharers {
+			panic(fmt.Sprintf("otable: tagged record has %d sharers but tx %d claims %d held reads",
+				r.sharers, tx, heldReads))
+		}
+		if heldReads == r.sharers {
+			r.mode = Write
+			r.owner = tx
+			r.sharers = 0
+			t.stats.writeAcquires.Add(1)
+			t.stats.upgrades.Add(1)
+			return Upgraded
+		}
+		t.stats.conflicts.Add(1)
+		return ConflictReaders
+	case r.owner == tx:
+		t.stats.writeAcquires.Add(1)
+		return AlreadyHeld
+	default:
+		t.stats.conflicts.Add(1)
+		return ConflictWriter
+	}
+}
+
+// ReleaseRead implements Table.
+func (t *Tagged) ReleaseRead(tx TxID, b addr.Block) {
+	idx := t.h.Index(b)
+	m := t.lockFor(idx)
+	defer m.Unlock()
+	r := t.find(idx, b)
+	if r == nil || r.mode != Read || r.sharers == 0 {
+		panic(fmt.Sprintf("otable: ReleaseRead by tx %d on block %v with no read record", tx, b))
+	}
+	r.sharers--
+	if r.sharers == 0 {
+		t.remove(idx, b)
+	}
+	t.stats.releases.Add(1)
+}
+
+// ReleaseWrite implements Table.
+func (t *Tagged) ReleaseWrite(tx TxID, b addr.Block) {
+	idx := t.h.Index(b)
+	m := t.lockFor(idx)
+	defer m.Unlock()
+	r := t.find(idx, b)
+	if r == nil || r.mode != Write || r.owner != tx {
+		panic(fmt.Sprintf("otable: ReleaseWrite by tx %d on block %v it does not own", tx, b))
+	}
+	t.remove(idx, b)
+	t.stats.releases.Add(1)
+}
+
+// Occupied implements Table: the number of non-empty buckets.
+func (t *Tagged) Occupied() uint64 {
+	t.occMu.Lock()
+	defer t.occMu.Unlock()
+	if t.occ < 0 {
+		return 0
+	}
+	return uint64(t.occ)
+}
+
+// Records returns the number of live ownership records (≥ Occupied when
+// chains exist).
+func (t *Tagged) Records() uint64 { return t.stats.records.Load() }
+
+// ChainLengths returns a histogram of bucket chain lengths: result[k] is the
+// number of buckets with exactly k records, for k up to the longest chain.
+// Not safe to call concurrently with mutations.
+func (t *Tagged) ChainLengths() []uint64 {
+	var maxLen int
+	lengths := make(map[int]uint64)
+	for i := range t.buckets {
+		n := 0
+		for r := t.buckets[i]; r != nil; r = r.next {
+			n++
+		}
+		lengths[n]++
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	out := make([]uint64, maxLen+1)
+	for k, c := range lengths {
+		out[k] = c
+	}
+	return out
+}
+
+// Stats implements Table.
+func (t *Tagged) Stats() Stats { return t.stats.snapshot() }
+
+// Reset implements Table.
+func (t *Tagged) Reset() {
+	for i := range t.buckets {
+		t.buckets[i] = nil
+	}
+	t.occMu.Lock()
+	t.occ = 0
+	t.occMu.Unlock()
+	t.stats.reset()
+}
+
+var _ Table = (*Tagged)(nil)

@@ -1,0 +1,204 @@
+package otable
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/hash"
+)
+
+// Tagless is the ownership table organization of Figure 1: N entries, each a
+// single word holding {mode, owner-or-count}, indexed by hashing the block
+// address. The address is not stored, so permissions are granted at the
+// granularity of *all* addresses mapping to an entry, and any cross-
+// transaction overlap on an entry involving a write is (conservatively) a
+// conflict — whether or not the underlying addresses are equal.
+//
+// Entries are manipulated with compare-and-swap, so the table is safe for
+// concurrent use without locks, mirroring the low-overhead motivation the
+// paper ascribes to tagless designs.
+type Tagless struct {
+	h       hash.Func
+	entries []atomic.Uint64
+	occ     atomic.Int64
+	stats   counters
+}
+
+// Entry word layout:
+//
+//	bits 62..63  mode (Free=0, Read=1, Write=2)
+//	bits  0..31  owner TxID (Write) or sharer count (Read)
+const (
+	modeShift   = 62
+	payloadMask = (1 << 32) - 1
+)
+
+func packEntry(m Mode, payload uint32) uint64 {
+	return uint64(m)<<modeShift | uint64(payload)
+}
+
+func unpackEntry(e uint64) (Mode, uint32) {
+	return Mode(e >> modeShift), uint32(e & payloadMask)
+}
+
+// NewTagless builds a tagless table sized and indexed by h.
+func NewTagless(h hash.Func) *Tagless {
+	return &Tagless{h: h, entries: make([]atomic.Uint64, h.N())}
+}
+
+// Kind implements Table.
+func (t *Tagless) Kind() string { return "tagless" }
+
+// N implements Table.
+func (t *Tagless) N() uint64 { return t.h.N() }
+
+// Hash returns the address-to-entry hash function.
+func (t *Tagless) Hash() hash.Func { return t.h }
+
+// SlotOf implements Table: the slot is the hashed entry index, so aliasing
+// blocks share a slot.
+func (t *Tagless) SlotOf(b addr.Block) uint64 { return t.h.Index(b) }
+
+// AcquireRead implements Table.
+func (t *Tagless) AcquireRead(tx TxID, b addr.Block) Outcome {
+	e := &t.entries[t.h.Index(b)]
+	for {
+		old := e.Load()
+		mode, payload := unpackEntry(old)
+		switch mode {
+		case Free:
+			if e.CompareAndSwap(old, packEntry(Read, 1)) {
+				t.occ.Add(1)
+				t.stats.readAcquires.Add(1)
+				return Granted
+			}
+		case Read:
+			if e.CompareAndSwap(old, packEntry(Read, payload+1)) {
+				t.stats.readAcquires.Add(1)
+				return Granted
+			}
+		case Write:
+			if TxID(payload) == tx {
+				// Exclusive ownership subsumes the read.
+				t.stats.readAcquires.Add(1)
+				return AlreadyHeld
+			}
+			t.stats.conflicts.Add(1)
+			return ConflictWriter
+		}
+	}
+}
+
+// AcquireWrite implements Table. heldReads is the number of read shares tx
+// already holds on b's entry; if it equals the entry's full sharer count the
+// acquire is a private upgrade, otherwise foreign readers block it.
+func (t *Tagless) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
+	e := &t.entries[t.h.Index(b)]
+	for {
+		old := e.Load()
+		mode, payload := unpackEntry(old)
+		switch mode {
+		case Free:
+			if e.CompareAndSwap(old, packEntry(Write, uint32(tx))) {
+				t.occ.Add(1)
+				t.stats.writeAcquires.Add(1)
+				return Granted
+			}
+		case Read:
+			if heldReads > payload {
+				panic(fmt.Sprintf("otable: tagless entry has %d sharers but tx %d claims %d held reads",
+					payload, tx, heldReads))
+			}
+			if heldReads == payload {
+				// Every current sharer is the caller: upgrade in place.
+				if e.CompareAndSwap(old, packEntry(Write, uint32(tx))) {
+					t.stats.writeAcquires.Add(1)
+					t.stats.upgrades.Add(1)
+					return Upgraded
+				}
+				continue
+			}
+			t.stats.conflicts.Add(1)
+			return ConflictReaders
+		case Write:
+			if TxID(payload) == tx {
+				t.stats.writeAcquires.Add(1)
+				return AlreadyHeld
+			}
+			t.stats.conflicts.Add(1)
+			return ConflictWriter
+		}
+	}
+}
+
+// ReleaseRead implements Table.
+func (t *Tagless) ReleaseRead(tx TxID, b addr.Block) {
+	e := &t.entries[t.h.Index(b)]
+	for {
+		old := e.Load()
+		mode, payload := unpackEntry(old)
+		if mode != Read || payload == 0 {
+			panic(fmt.Sprintf("otable: ReleaseRead by tx %d on %s entry", tx, mode))
+		}
+		var next uint64
+		if payload == 1 {
+			next = packEntry(Free, 0)
+		} else {
+			next = packEntry(Read, payload-1)
+		}
+		if e.CompareAndSwap(old, next) {
+			if payload == 1 {
+				t.occ.Add(-1)
+			}
+			t.stats.releases.Add(1)
+			return
+		}
+	}
+}
+
+// ReleaseWrite implements Table.
+func (t *Tagless) ReleaseWrite(tx TxID, b addr.Block) {
+	e := &t.entries[t.h.Index(b)]
+	for {
+		old := e.Load()
+		mode, payload := unpackEntry(old)
+		if mode != Write || TxID(payload) != tx {
+			panic(fmt.Sprintf("otable: ReleaseWrite by tx %d on entry %s/owner=%d", tx, mode, payload))
+		}
+		if e.CompareAndSwap(old, packEntry(Free, 0)) {
+			t.occ.Add(-1)
+			t.stats.releases.Add(1)
+			return
+		}
+	}
+}
+
+// Occupied implements Table.
+func (t *Tagless) Occupied() uint64 {
+	v := t.occ.Load()
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// Stats implements Table.
+func (t *Tagless) Stats() Stats { return t.stats.snapshot() }
+
+// Reset implements Table.
+func (t *Tagless) Reset() {
+	for i := range t.entries {
+		t.entries[i].Store(0)
+	}
+	t.occ.Store(0)
+	t.stats.reset()
+}
+
+// EntryState reports the mode and payload of entry i, for tests and
+// diagnostics.
+func (t *Tagless) EntryState(i uint64) (Mode, uint32) {
+	return unpackEntry(t.entries[i].Load())
+}
+
+var _ Table = (*Tagless)(nil)

@@ -1,0 +1,154 @@
+// Package overflow runs the HTM-overflow characterization of Section 2.3
+// (Figure 3): replay per-benchmark synthetic traces through the cache
+// simulator until the transaction overflows, and report the footprint
+// (read and written blocks) and dynamic instruction count at that point,
+// with and without a victim buffer.
+package overflow
+
+import (
+	"fmt"
+
+	"tmbp/internal/cache"
+	"tmbp/internal/stats"
+	"tmbp/internal/trace"
+	"tmbp/internal/xrand"
+)
+
+// Config parameterizes the study.
+type Config struct {
+	// Cache is the simulated geometry (default: the paper's 32 KB 4-way
+	// with 64 B lines; set VictimEntries for the victim-buffer variant).
+	Cache cache.Config
+	// Traces is the number of traces per benchmark (paper: >= 20).
+	Traces int
+	// Seed drives trace generation.
+	Seed uint64
+	// MaxAccesses bounds one trace replay as a safety valve against a
+	// profile that fits in the cache indefinitely (default 10M).
+	MaxAccesses int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Cache.SizeBytes == 0 && cfg.Cache.Ways == 0 {
+		cfg.Cache = cache.Default32K(cfg.Cache.VictimEntries)
+	}
+	if cfg.Traces == 0 {
+		cfg.Traces = 20
+	}
+	if cfg.MaxAccesses == 0 {
+		cfg.MaxAccesses = 10_000_000
+	}
+	return cfg
+}
+
+// BenchResult aggregates one benchmark's traces.
+type BenchResult struct {
+	Name string
+	// Blocks, ReadBlocks, WriteBlocks are footprints at overflow.
+	Blocks      stats.Sample
+	ReadBlocks  stats.Sample
+	WriteBlocks stats.Sample
+	// Instrs is the dynamic instruction count at overflow.
+	Instrs stats.Sample
+	// Truncated counts traces that hit MaxAccesses without overflowing.
+	Truncated int
+}
+
+// Utilization returns the mean footprint as a fraction of cache lines.
+func (r BenchResult) Utilization(cfg cache.Config) float64 {
+	return r.Blocks.Mean() / float64(cfg.Lines())
+}
+
+// SuiteResult is the full study output.
+type SuiteResult struct {
+	Config  Config
+	Benches []BenchResult
+	// Averages across benchmarks (arithmetic mean of per-bench means, as
+	// the paper does).
+	AvgBlocks, AvgReads, AvgWrites, AvgInstrs float64
+}
+
+// Utilization returns the suite-average cache utilization at overflow.
+func (s SuiteResult) Utilization() float64 {
+	return s.AvgBlocks / float64(s.Config.Cache.Lines())
+}
+
+// ReadWriteRatio returns the suite-average read:write footprint ratio.
+func (s SuiteResult) ReadWriteRatio() float64 {
+	if s.AvgWrites == 0 {
+		return 0
+	}
+	return s.AvgReads / s.AvgWrites
+}
+
+// RunBenchmark replays cfg.Traces traces of profile p and aggregates their
+// overflow points.
+func RunBenchmark(p trace.Profile, cfg Config) (BenchResult, error) {
+	cfg = cfg.withDefaults()
+	res := BenchResult{Name: p.Name}
+	c := cache.New(cfg.Cache)
+	for t := 0; t < cfg.Traces; t++ {
+		// Each trace gets an independent seed: the stand-in for the
+		// paper's randomly selected checkpoints.
+		seed := xrand.Mix64(cfg.Seed ^ uint64(t)<<32 ^ hashName(p.Name))
+		s, err := trace.NewSpecStream(p, seed)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		c.Reset()
+		instrs := 0
+		overflowed := false
+		for a := 0; a < cfg.MaxAccesses; a++ {
+			acc := s.Next()
+			instrs += acc.Instrs
+			if c.Access(acc.Block, acc.Write) {
+				overflowed = true
+				break
+			}
+		}
+		if !overflowed {
+			res.Truncated++
+			continue
+		}
+		res.Blocks.Add(float64(c.Footprint()))
+		res.ReadBlocks.Add(float64(c.FootprintReads()))
+		res.WriteBlocks.Add(float64(c.FootprintWrites()))
+		res.Instrs.Add(float64(instrs))
+	}
+	return res, nil
+}
+
+// RunSuite runs every profile and computes the suite averages.
+func RunSuite(profiles []trace.Profile, cfg Config) (SuiteResult, error) {
+	cfg = cfg.withDefaults()
+	if len(profiles) == 0 {
+		return SuiteResult{}, fmt.Errorf("overflow: no profiles given")
+	}
+	out := SuiteResult{Config: cfg}
+	for _, p := range profiles {
+		br, err := RunBenchmark(p, cfg)
+		if err != nil {
+			return SuiteResult{}, err
+		}
+		out.Benches = append(out.Benches, br)
+		out.AvgBlocks += br.Blocks.Mean()
+		out.AvgReads += br.ReadBlocks.Mean()
+		out.AvgWrites += br.WriteBlocks.Mean()
+		out.AvgInstrs += br.Instrs.Mean()
+	}
+	n := float64(len(out.Benches))
+	out.AvgBlocks /= n
+	out.AvgReads /= n
+	out.AvgWrites /= n
+	out.AvgInstrs /= n
+	return out, nil
+}
+
+// hashName mixes a profile name into the seed stream.
+func hashName(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,127 @@
+package overflow
+
+import (
+	"testing"
+
+	"tmbp/internal/cache"
+	"tmbp/internal/trace"
+)
+
+func TestRunBenchmarkDeterministic(t *testing.T) {
+	p, err := trace.ProfileByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Traces: 5, Seed: 3}
+	a, err := RunBenchmark(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBenchmark(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Blocks.Mean() != b.Blocks.Mean() || a.Instrs.Mean() != b.Instrs.Mean() {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+// TestFigure3Anchors verifies the paper's headline numbers for the suite:
+// overflow at ~36% of the cache's 512 blocks, ~23k dynamic instructions,
+// and a ~2:1 read:write footprint split.
+func TestFigure3Anchors(t *testing.T) {
+	res, err := RunSuite(trace.SpecProfiles(), Config{Traces: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := res.Utilization()
+	if util < 0.31 || util > 0.41 {
+		t.Errorf("suite utilization = %.1f%%, paper reports ~36%%", 100*util)
+	}
+	if res.AvgInstrs < 17000 || res.AvgInstrs > 30000 {
+		t.Errorf("suite instructions = %.0f, paper reports ~23,000", res.AvgInstrs)
+	}
+	ratio := res.ReadWriteRatio()
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Errorf("read:write ratio = %.2f, paper reports ~2", ratio)
+	}
+}
+
+// TestFigure3VictimBuffer verifies the single-victim-buffer deltas: ~16%
+// more footprint (utilization from 36% to ~42%) and ~30% more instructions.
+func TestFigure3VictimBuffer(t *testing.T) {
+	base, err := RunSuite(trace.SpecProfiles(), Config{Traces: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := RunSuite(trace.SpecProfiles(), Config{Cache: cache.Default32K(1), Traces: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockGain := vb.AvgBlocks/base.AvgBlocks - 1
+	instrGain := vb.AvgInstrs/base.AvgInstrs - 1
+	if blockGain < 0.08 || blockGain > 0.30 {
+		t.Errorf("victim buffer footprint gain = %.1f%%, paper reports ~16%%", 100*blockGain)
+	}
+	if instrGain < 0.18 || instrGain > 0.48 {
+		t.Errorf("victim buffer instruction gain = %.1f%%, paper reports ~30%%", 100*instrGain)
+	}
+	if instrGain <= blockGain {
+		t.Errorf("instruction gain (%.1f%%) should exceed footprint gain (%.1f%%)",
+			100*instrGain, 100*blockGain)
+	}
+}
+
+// TestPerBenchmarkVariability: the paper notes "significant variability
+// between the benchmarks"; mcf-like profiles must overflow far later than
+// eon-like ones.
+func TestPerBenchmarkVariability(t *testing.T) {
+	res, err := RunSuite(trace.SpecProfiles(), Config{Traces: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*BenchResult{}
+	for i := range res.Benches {
+		byName[res.Benches[i].Name] = &res.Benches[i]
+	}
+	if mcf, eon := byName["mcf"].Blocks.Mean(), byName["eon"].Blocks.Mean(); mcf < 2.5*eon {
+		t.Errorf("mcf (%.0f blocks) should dwarf eon (%.0f blocks)", mcf, eon)
+	}
+}
+
+// TestSTMHandoffScale: the motivation for Section 3's back-of-envelope —
+// the STM side of a hybrid TM must handle transactions of a couple hundred
+// blocks, with W ≈ 60-80 written blocks.
+func TestSTMHandoffScale(t *testing.T) {
+	res, err := RunSuite(trace.SpecProfiles(), Config{Traces: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgBlocks < 120 || res.AvgBlocks > 280 {
+		t.Errorf("overflow footprint = %.0f blocks, expected a few hundred", res.AvgBlocks)
+	}
+	if res.AvgWrites < 40 || res.AvgWrites > 100 {
+		t.Errorf("written footprint = %.0f blocks, paper's W ≈ 71", res.AvgWrites)
+	}
+}
+
+func TestRunSuiteEmpty(t *testing.T) {
+	if _, err := RunSuite(nil, Config{Traces: 1}); err == nil {
+		t.Fatal("empty suite accepted")
+	}
+}
+
+func TestTruncationGuard(t *testing.T) {
+	// A tiny access budget forces truncation instead of hanging.
+	p, _ := trace.ProfileByName("mcf")
+	res, err := RunBenchmark(p, Config{Traces: 3, Seed: 5, MaxAccesses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated != 3 {
+		t.Fatalf("Truncated = %d, want 3", res.Truncated)
+	}
+	if res.Blocks.N() != 0 {
+		t.Fatal("truncated traces contributed samples")
+	}
+}

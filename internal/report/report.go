@@ -1,0 +1,164 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// one table per paper figure panel, so the harness output can be compared
+// line by line with the paper's plots.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells with optional footnotes.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; it pads or truncates to the column count.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Right-align numbers, left-align the first column.
+			if i == 0 {
+				b.WriteString(pad(cell, widths[i], false))
+			} else {
+				b.WriteString(pad(cell, widths[i], true))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  * ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (RFC-4180 quoting for the cells that
+// need it).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, width int, right bool) string {
+	if len(s) >= width {
+		return s
+	}
+	fill := strings.Repeat(" ", width-len(s))
+	if right {
+		return fill + s
+	}
+	return s + fill
+}
+
+// Pct formats a probability as a percentage with one decimal.
+func Pct(x float64) string { return strconv.FormatFloat(100*x, 'f', 1, 64) + "%" }
+
+// Pct2 formats a probability as a percentage with two decimals (for the
+// sub-percent alias floors).
+func Pct2(x float64) string { return strconv.FormatFloat(100*x, 'f', 2, 64) + "%" }
+
+// F1 formats a float with one decimal.
+func F1(x float64) string { return strconv.FormatFloat(x, 'f', 1, 64) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return strconv.FormatFloat(x, 'f', 2, 64) }
+
+// Int formats an integer.
+func Int(n int) string { return strconv.Itoa(n) }
+
+// U64 formats an unsigned integer.
+func U64(n uint64) string { return strconv.FormatUint(n, 10) }
+
+// SI formats large counts in engineering style (k/M suffix) as the paper's
+// axes do.
+func SI(n uint64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return strconv.FormatUint(n/(1<<20), 10) + "M"
+	case n >= 1024 && n%1024 == 0:
+		return strconv.FormatUint(n/1024, 10) + "k"
+	default:
+		return strconv.FormatUint(n, 10)
+	}
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignsColumns(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("a", "1")
+	tb.Add("long-name", "1234")
+	tb.Note("a note")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Demo\n====") {
+		t.Errorf("missing title underline:\n%s", out)
+	}
+	if !strings.Contains(out, "long-name") || !strings.Contains(out, "* a note") {
+		t.Errorf("missing content:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header and data lines must have equal width for the first column.
+	var hdr, row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			hdr = l
+		}
+		if strings.HasPrefix(l, "long-name") {
+			row = l
+		}
+	}
+	if hdr == "" || row == "" {
+		t.Fatalf("rows not found:\n%s", out)
+	}
+	if strings.Index(hdr, "value") != strings.Index(row, "1234")+len("1234")-len("value") {
+		// value column is right-aligned; its END positions must line up
+		hEnd := strings.Index(hdr, "value") + len("value")
+		rEnd := strings.Index(row, "1234") + len("1234")
+		if hEnd != rEnd {
+			t.Errorf("columns misaligned:\n%s", out)
+		}
+	}
+}
+
+func TestAddPadsAndTruncates(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("only")
+	tb.Add("x", "y", "z")
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Errorf("short row not padded: %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Errorf("long row not truncated: %v", tb.Rows[1])
+	}
+}
+
+func TestRenderCSVQuoting(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.Add(`has"quote`, "with,comma")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"has""quote"`) || !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("CSV quoting wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Pct(0.123), "12.3%"},
+		{Pct2(0.0012), "0.12%"},
+		{F1(3.14159), "3.1"},
+		{F2(3.14159), "3.14"},
+		{Int(42), "42"},
+		{U64(7), "7"},
+		{SI(1024), "1k"},
+		{SI(262144), "256k"},
+		{SI(1 << 21), "2M"},
+		{SI(100), "100"},
+		{SI(1000), "1000"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package closed implements the paper's second set of validation
+// simulations (Section 4, Figures 5 and 6): a closed system in which C
+// threads execute fixed-size transactions back to back for a fixed amount
+// of simulated time, restarting a transaction whenever it conflicts.
+//
+// Following the paper:
+//
+//   - thread start times are randomly staggered, relaxing the lock-step
+//     assumption of the analytical model;
+//   - when a conflict occurs the transaction aborts, its entries are
+//     removed from the ownership table, and the thread restarts it;
+//   - the simulated duration is chosen so that a conflict-free run commits
+//     a fixed number of transactions (the paper's runs complete 650);
+//   - the average table occupancy is measured, from which the *actual*
+//     concurrency is derived — the compensation behind Figure 6(b): with
+//     infrequent conflicts occupancy averages C·F/2 (F = blocks per
+//     transaction), and high conflict rates depress it by reducing the
+//     effective concurrency.
+package closed
+
+import (
+	"fmt"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/hash"
+	"tmbp/internal/otable"
+	"tmbp/internal/stats"
+	"tmbp/internal/xrand"
+)
+
+// Config parameterizes one closed-system configuration.
+type Config struct {
+	// C is the applied concurrency: the number of threads.
+	C int
+	// W is the write footprint of every transaction.
+	W int
+	// Alpha is the number of fresh reads per write (paper: 2).
+	Alpha int
+	// N is the ownership table size in entries.
+	N uint64
+	// Kind selects "tagless" (default) or "tagged".
+	Kind string
+	// Hash selects the address hash; immaterial for random blocks.
+	Hash string
+	// CommitsPerThread sets the simulated duration: the run lasts exactly
+	// CommitsPerThread·F steps (F = blocks per transaction), so each thread
+	// completes CommitsPerThread transactions when no conflicts occur
+	// (paper: 650). Fixing *time* rather than total commits is what makes
+	// conflicts scale as C(C−1) in Figure 6: both the number of attempts
+	// and the per-attempt hazard grow with C.
+	CommitsPerThread int
+	// Trials is the number of independent runs averaged (defaults to 5).
+	Trials int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// BlockSpace is the number of distinct random blocks (default 2^40).
+	BlockSpace uint64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Kind == "" {
+		cfg.Kind = "tagless"
+	}
+	if cfg.Hash == "" {
+		cfg.Hash = "mask"
+	}
+	if cfg.CommitsPerThread == 0 {
+		cfg.CommitsPerThread = 650
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 5
+	}
+	if cfg.BlockSpace == 0 {
+		cfg.BlockSpace = 1 << 40
+	}
+	return cfg
+}
+
+func (cfg Config) validate() error {
+	switch {
+	case cfg.C < 1:
+		return fmt.Errorf("closed: C = %d must be >= 1", cfg.C)
+	case cfg.W < 1:
+		return fmt.Errorf("closed: W = %d must be >= 1", cfg.W)
+	case cfg.Alpha < 0:
+		return fmt.Errorf("closed: alpha = %d must be >= 0", cfg.Alpha)
+	case cfg.N == 0:
+		return fmt.Errorf("closed: N must be > 0")
+	case cfg.CommitsPerThread < 1:
+		return fmt.Errorf("closed: CommitsPerThread = %d must be >= 1", cfg.CommitsPerThread)
+	case cfg.Trials < 1:
+		return fmt.Errorf("closed: trials = %d must be >= 1", cfg.Trials)
+	}
+	return nil
+}
+
+// Footprint returns F, the number of block additions per transaction.
+func (cfg Config) Footprint() int { return cfg.W * (1 + cfg.Alpha) }
+
+// Result aggregates the trials for one configuration.
+type Result struct {
+	Config Config
+	// Conflicts is the mean number of aborts per run — the y-axis of
+	// Figures 5 and 6.
+	Conflicts float64
+	// ConflictsCI95 is the half-width of the 95% CI over trials.
+	ConflictsCI95 float64
+	// Commits is the mean number of committed transactions per run, summed
+	// across threads (equals C·CommitsPerThread when no conflicts occur,
+	// lower otherwise).
+	Commits float64
+	// AbortRate is Conflicts / (Conflicts + Commits): per-attempt abort
+	// probability.
+	AbortRate float64
+	// AvgOccupancy is the time-averaged number of filled table entries.
+	AvgOccupancy float64
+	// ActualConcurrency is AvgOccupancy / (F/2): the effective concurrency
+	// after conflict-induced footprint loss (Figure 6(b)'s x-axis).
+	ActualConcurrency float64
+}
+
+// Run executes the closed-system experiment for one configuration.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	h, err := hash.New(cfg.Hash, cfg.N)
+	if err != nil {
+		return Result{}, err
+	}
+	tab, err := otable.New(cfg.Kind, h)
+	if err != nil {
+		return Result{}, err
+	}
+
+	rng := xrand.New(cfg.Seed)
+	var conflicts, commits, occupancy stats.Sample
+	for trial := 0; trial < cfg.Trials; trial++ {
+		tr := runTrial(cfg, tab, rng.Split())
+		conflicts.Add(float64(tr.conflicts))
+		commits.Add(float64(tr.commits))
+		occupancy.Add(tr.avgOccupancy)
+	}
+
+	res := Result{
+		Config:        cfg,
+		Conflicts:     conflicts.Mean(),
+		ConflictsCI95: conflicts.CI95(),
+		Commits:       commits.Mean(),
+		AvgOccupancy:  occupancy.Mean(),
+	}
+	if att := res.Conflicts + res.Commits; att > 0 {
+		res.AbortRate = res.Conflicts / att
+	}
+	res.ActualConcurrency = res.AvgOccupancy / (float64(cfg.Footprint()) / 2)
+	return res, nil
+}
+
+// trialResult carries one run's counters.
+type trialResult struct {
+	conflicts    int
+	commits      int
+	avgOccupancy float64
+}
+
+// thread is one simulated thread's state.
+type thread struct {
+	fp    *otable.Footprint
+	added int // block additions completed in the current attempt
+	idle  int // remaining stagger steps before the thread starts
+}
+
+// runTrial simulates one closed-system run of duration
+// CommitsPerThread·F steps.
+func runTrial(cfg Config, tab otable.Table, rng *xrand.Rand) trialResult {
+	f := cfg.Footprint()
+	steps := cfg.CommitsPerThread * f
+	threads := make([]*thread, cfg.C)
+	for i := range threads {
+		threads[i] = &thread{
+			fp:   otable.NewFootprint(tab, otable.TxID(i+1)),
+			idle: rng.Intn(f), // random staggered start
+		}
+	}
+	var tr trialResult
+	var occSum uint64
+	for step := 0; step < steps; step++ {
+		for _, th := range threads {
+			if th.idle > 0 {
+				th.idle--
+				continue
+			}
+			// Position within the [α reads, 1 write] pattern: writes land
+			// at the end of each round.
+			isWrite := cfg.Alpha == 0 || th.added%(cfg.Alpha+1) == cfg.Alpha
+			b := addr.Block(rng.Uint64n(cfg.BlockSpace))
+			var out otable.Outcome
+			if isWrite {
+				out = th.fp.Write(b)
+			} else {
+				out = th.fp.Read(b)
+			}
+			if out.Conflict() {
+				// Abort: remove the transaction's entries and restart it.
+				tr.conflicts++
+				th.fp.ReleaseAll()
+				th.added = 0
+				continue
+			}
+			th.added++
+			if th.added == f {
+				// Commit: release entries and begin the next transaction.
+				tr.commits++
+				th.fp.ReleaseAll()
+				th.added = 0
+			}
+		}
+		occSum += tab.Occupied()
+	}
+	// Drain remaining footprints so the table is clean for the next trial.
+	for _, th := range threads {
+		th.fp.ReleaseAll()
+	}
+	if steps > 0 {
+		tr.avgOccupancy = float64(occSum) / float64(steps)
+	}
+	return tr
+}

@@ -1,0 +1,62 @@
+package stm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tmbp/internal/addr"
+)
+
+// Memory is the flat word-addressable memory the STM manages. Word storage
+// is atomic so that the Go memory model never sees a data race even under
+// weak isolation, where the *transactional* semantics permit races between
+// transactional and non-transactional code; the STM protocol layers its
+// guarantees on top.
+type Memory struct {
+	words []atomic.Uint64
+}
+
+// NewMemory allocates a zeroed memory of the given number of 8-byte words.
+func NewMemory(words int) *Memory {
+	if words <= 0 {
+		panic(fmt.Sprintf("stm: NewMemory(%d) needs a positive word count", words))
+	}
+	return &Memory{words: make([]atomic.Uint64, words)}
+}
+
+// Words returns the memory size in words.
+func (m *Memory) Words() int { return len(m.words) }
+
+// Bytes returns the memory size in bytes.
+func (m *Memory) Bytes() uint64 { return uint64(len(m.words)) * addr.WordBytes }
+
+// WordAddr returns the byte address of word i.
+func (m *Memory) WordAddr(i int) addr.Addr { return addr.Addr(uint64(i) * addr.WordBytes) }
+
+// index converts an address to a word index, checking bounds and alignment.
+func (m *Memory) index(a addr.Addr) uint64 {
+	if uint64(a)%addr.WordBytes != 0 {
+		panic(fmt.Sprintf("stm: unaligned word access at %v", a))
+	}
+	i := uint64(a) / addr.WordBytes
+	if i >= uint64(len(m.words)) {
+		panic(fmt.Sprintf("stm: access at %v beyond memory of %d words", a, len(m.words)))
+	}
+	return i
+}
+
+// load reads the word at address a.
+func (m *Memory) load(a addr.Addr) uint64 { return m.words[m.index(a)].Load() }
+
+// store writes the word at address a.
+func (m *Memory) store(a addr.Addr, v uint64) { m.words[m.index(a)].Store(v) }
+
+// LoadDirect reads a word without transactional protection. Under weak
+// isolation (the paper's default assumption, Section 6) this is what
+// non-transactional code does: it performs no ownership-table lookups and
+// may observe speculative-free but non-serializable intermediate states.
+func (m *Memory) LoadDirect(a addr.Addr) uint64 { return m.load(a) }
+
+// StoreDirect writes a word without transactional protection; see
+// LoadDirect.
+func (m *Memory) StoreDirect(a addr.Addr, v uint64) { m.store(a, v) }

@@ -1,0 +1,431 @@
+// Package stm is a word-based software transactional memory built on the
+// ownership tables of package otable. It is the runtime the paper's
+// analysis applies to: transactions execute optimistically, acquire
+// ownership of the cache blocks they touch at encounter time through a
+// central ownership table, buffer writes in a redo log, and roll back when
+// a conflict — true or false — is detected.
+//
+// The metadata organization is pluggable: running the same program against
+// a tagless table and a tagged table exposes exactly the false-conflict
+// behavior the paper quantifies (tagless aborts on aliasing accesses the
+// tagged table runs conflict-free).
+//
+// Concurrency control is encounter-time two-phase locking over ownership
+// table slots: permissions are acquired before data access and held until
+// commit or abort, which yields serializable transactions. Contention
+// management is self-abort with randomized exponential backoff.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/otable"
+	"tmbp/internal/txn"
+	"tmbp/internal/xrand"
+)
+
+// Granularity selects the chunk size at which ownership is tracked
+// (Section 1: "typically either individual words ... or whole cache lines").
+type Granularity int
+
+// Supported ownership granularities.
+const (
+	// BlockGranularity tracks ownership per 64-byte cache block.
+	BlockGranularity Granularity = iota
+	// WordGranularity tracks ownership per 8-byte word.
+	WordGranularity
+)
+
+// chunkOf maps a byte address to its ownership chunk under g.
+func (g Granularity) chunkOf(a addr.Addr) addr.Block {
+	if g == WordGranularity {
+		return addr.Block(uint64(a) >> addr.WordShift)
+	}
+	return addr.BlockOf(a)
+}
+
+// String names the granularity.
+func (g Granularity) String() string {
+	if g == WordGranularity {
+		return "word"
+	}
+	return "block"
+}
+
+// Isolation selects how non-transactional accesses interact with
+// transactions (Section 6).
+type Isolation int
+
+// Isolation levels.
+const (
+	// WeakIsolation: non-transactional accesses bypass the ownership
+	// table entirely. Cheap, but unprotected against racing transactions.
+	WeakIsolation Isolation = iota
+	// StrongIsolation: non-transactional accesses perform ownership-table
+	// lookups too, aborting none but waiting for no one: they acquire and
+	// immediately release a one-block footprint, failing with a conflict
+	// if a transaction holds the block. The paper notes this extra
+	// concurrency makes tagless tables "even more untenable".
+	StrongIsolation
+)
+
+// Config assembles an STM runtime.
+type Config struct {
+	// Table is the shared ownership table. Required.
+	Table otable.Table
+	// Memory is the word store transactions operate on. Required.
+	Memory *Memory
+	// Granularity of ownership tracking; defaults to BlockGranularity.
+	Granularity Granularity
+	// Isolation for non-transactional accesses; defaults to WeakIsolation.
+	Isolation Isolation
+	// MaxAttempts bounds the retries of one transaction (0 = unlimited).
+	MaxAttempts int
+	// BackoffBase is the initial backoff budget after an abort, measured
+	// in scheduler yields; it doubles per consecutive abort up to
+	// BackoffMax. Defaults 4 and 256. Set BackoffBase = -1 to disable
+	// backoff entirely (immediate retry).
+	//
+	// Backoff yields the processor rather than spinning: on machines with
+	// few cores, spinning preserves the exact interleaving that caused the
+	// conflict and deterministic workloads can phase-lock into livelock;
+	// a randomized number of yields reshuffles the schedule.
+	BackoffBase int
+	// BackoffMax caps the backoff yield budget.
+	BackoffMax int
+	// FuzzYield, when positive, makes each transactional operation yield
+	// the processor with the given probability. It perturbs goroutine
+	// scheduling so transactions genuinely interleave — a lightweight
+	// schedule fuzzer for tests and demonstrations on machines with few
+	// cores, where transactions otherwise run to completion within one
+	// scheduler slice and conflicts never materialize. Zero disables it;
+	// it must be < 1.
+	FuzzYield float64
+	// Seed makes thread-local randomized backoff reproducible.
+	Seed uint64
+}
+
+// ErrTooManyAttempts is returned by Atomic when a transaction exceeds
+// MaxAttempts without committing.
+var ErrTooManyAttempts = errors.New("stm: transaction exceeded maximum attempts")
+
+// Runtime is a configured STM instance shared by all threads of a program.
+type Runtime struct {
+	cfg     Config
+	nextID  atomic.Uint32
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+	ntReads atomic.Uint64 // strong-isolation non-transactional probes
+	ntConfl atomic.Uint64 // strong-isolation probes denied by a transaction
+}
+
+// New validates cfg and returns a Runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Table == nil {
+		return nil, errors.New("stm: Config.Table is required")
+	}
+	if cfg.Memory == nil {
+		return nil, errors.New("stm: Config.Memory is required")
+	}
+	if cfg.MaxAttempts < 0 {
+		return nil, fmt.Errorf("stm: MaxAttempts = %d must be >= 0", cfg.MaxAttempts)
+	}
+	if cfg.FuzzYield < 0 || cfg.FuzzYield >= 1 {
+		return nil, fmt.Errorf("stm: FuzzYield = %v must be in [0, 1)", cfg.FuzzYield)
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 4
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 256
+	}
+	return &Runtime{cfg: cfg}, nil
+}
+
+// Table returns the runtime's ownership table (for statistics).
+func (rt *Runtime) Table() otable.Table { return rt.cfg.Table }
+
+// Memory returns the runtime's memory.
+func (rt *Runtime) Memory() *Memory { return rt.cfg.Memory }
+
+// Stats reports runtime-wide transaction counters.
+type Stats struct {
+	Commits uint64
+	Aborts  uint64
+	// NTProbes counts strong-isolation non-transactional accesses.
+	NTProbes uint64
+	// NTConflicts counts those denied by an active transaction.
+	NTConflicts uint64
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Commits:     rt.commits.Load(),
+		Aborts:      rt.aborts.Load(),
+		NTProbes:    rt.ntReads.Load(),
+		NTConflicts: rt.ntConfl.Load(),
+	}
+}
+
+// AbortRate returns aborts / (commits + aborts), 0 when idle.
+func (s Stats) AbortRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// NewThread registers a new thread with the runtime. Each goroutine that
+// executes transactions must use its own Thread; a Thread is not safe for
+// concurrent use (it owns the private per-thread log of Section 2.1).
+func (rt *Runtime) NewThread() *Thread {
+	id := otable.TxID(rt.nextID.Add(1))
+	return &Thread{
+		rt:   rt,
+		id:   id,
+		fp:   otable.NewFootprint(rt.cfg.Table, id),
+		desc: txn.NewDesc(),
+		rng:  xrand.NewWithStream(rt.cfg.Seed, uint64(id)),
+	}
+}
+
+// Thread is one transaction-executing thread: its identity, footprint,
+// descriptor, and backoff state.
+type Thread struct {
+	rt   *Runtime
+	id   otable.TxID
+	fp   *otable.Footprint
+	desc *txn.Desc
+	rng  *xrand.Rand
+}
+
+// ID returns the thread's transaction identity.
+func (th *Thread) ID() otable.TxID { return th.id }
+
+// Attempts returns the attempt count of the last transaction.
+func (th *Thread) Attempts() int { return th.desc.Attempts }
+
+// conflictSignal is panicked internally on ownership conflicts and caught
+// in Atomic; user code never observes it.
+type conflictSignal struct{ out otable.Outcome }
+
+// fuzz yields the processor with the configured probability; see
+// Config.FuzzYield.
+func (th *Thread) fuzz() {
+	if p := th.rt.cfg.FuzzYield; p > 0 && th.rng.Float64() < p {
+		runtime.Gosched()
+	}
+}
+
+// Atomic runs fn as a transaction, retrying on conflicts (with randomized
+// exponential backoff) until it commits, fn returns an error, or the
+// attempt budget is exhausted. A non-nil error from fn aborts the
+// transaction and is returned unchanged; memory is untouched in that case.
+func (th *Thread) Atomic(fn func(tx *Tx) error) error {
+	th.desc.StartTransaction()
+	for {
+		th.desc.Begin()
+		err, conflicted := th.attempt(fn)
+		if !conflicted {
+			if err != nil {
+				return err // user abort
+			}
+			return nil // committed
+		}
+		th.rt.aborts.Add(1)
+		if th.rt.cfg.MaxAttempts > 0 && th.desc.Attempts >= th.rt.cfg.MaxAttempts {
+			th.desc.Status = txn.Aborted
+			return fmt.Errorf("%w (%d attempts)", ErrTooManyAttempts, th.desc.Attempts)
+		}
+		th.backoff(th.desc.Attempts)
+	}
+}
+
+// attempt runs fn once. It reports the user error (nil on commit) and
+// whether the attempt was killed by an ownership conflict.
+func (th *Thread) attempt(fn func(tx *Tx) error) (err error, conflicted bool) {
+	tx := &Tx{th: th}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(conflictSignal); !ok {
+				th.rollback()
+				panic(r) // user panic: release ownership, propagate
+			}
+			th.rollback()
+			conflicted = true
+		}
+	}()
+	if err := fn(tx); err != nil {
+		th.rollback()
+		return err, false
+	}
+	th.commit()
+	return nil, false
+}
+
+// commit makes the transaction's writes visible and releases ownership:
+// write-back happens strictly before release, so any transaction that later
+// acquires a written block observes the committed values.
+func (th *Thread) commit() {
+	th.desc.Status = txn.Committed
+	mem := th.rt.cfg.Memory
+	th.desc.Redo.Range(func(word uint64, val uint64) {
+		mem.words[word].Store(val)
+	})
+	th.fp.ReleaseAll()
+	th.rt.commits.Add(1)
+}
+
+// rollback discards speculative state and releases ownership.
+func (th *Thread) rollback() {
+	th.desc.Status = txn.Aborted
+	th.fp.ReleaseAll()
+}
+
+// backoff yields the processor a randomized, exponentially growing number
+// of times. Yielding (rather than spinning) lets the conflicting
+// transaction finish and — critically — reshuffles the goroutine schedule,
+// which breaks the phase-locked retry cycles that deterministic workloads
+// otherwise fall into on machines with few cores.
+func (th *Thread) backoff(attempt int) {
+	base := th.rt.cfg.BackoffBase
+	if base < 0 {
+		return
+	}
+	limit := base << uint(min(attempt-1, 20))
+	if limit > th.rt.cfg.BackoffMax {
+		limit = th.rt.cfg.BackoffMax
+	}
+	if limit <= 0 {
+		return
+	}
+	yields := th.rng.Intn(limit) + 1
+	for i := 0; i < yields; i++ {
+		runtime.Gosched()
+	}
+}
+
+// Tx is the handle user code receives inside Atomic. It is valid only for
+// the duration of the enclosing attempt.
+type Tx struct {
+	th *Thread
+}
+
+// Read returns the word at address a as of the transaction's serialization
+// point, acquiring read ownership of a's chunk. On conflict the attempt is
+// rolled back and retried; user code simply never continues past the Read.
+func (tx *Tx) Read(a addr.Addr) uint64 {
+	th := tx.th
+	th.fuzz()
+	chunk := th.rt.cfg.Granularity.chunkOf(a)
+	mem := th.rt.cfg.Memory
+	word := mem.index(a)
+	// Read-own-writes: the redo log wins over memory.
+	if v, ok := th.desc.Redo.Get(word); ok {
+		return v
+	}
+	if !th.desc.Writes.Has(chunk) && th.desc.Reads.Add(chunk) {
+		out := th.fp.Read(chunk)
+		if out.Conflict() {
+			panic(conflictSignal{out})
+		}
+	}
+	return mem.words[word].Load()
+}
+
+// Write records v as the speculative value of the word at a, acquiring
+// write ownership of a's chunk. Memory is unmodified until commit.
+func (tx *Tx) Write(a addr.Addr, v uint64) {
+	th := tx.th
+	th.fuzz()
+	chunk := th.rt.cfg.Granularity.chunkOf(a)
+	mem := th.rt.cfg.Memory
+	word := mem.index(a)
+	if th.desc.Writes.Add(chunk) {
+		out := th.fp.Write(chunk)
+		if out.Conflict() {
+			panic(conflictSignal{out})
+		}
+		// Keep the descriptor's sets disjoint: a chunk promoted from read
+		// to write (the ownership upgrade happened in fp.Write) lives in
+		// Writes only.
+		th.desc.Reads.Remove(chunk)
+	}
+	th.desc.Redo.Set(word, v)
+}
+
+// ReadBlock acquires read ownership of an entire block footprint element
+// without loading a word — used by trace replay where only footprints
+// matter.
+func (tx *Tx) ReadBlock(b addr.Block) {
+	th := tx.th
+	th.fuzz()
+	if !th.desc.Writes.Has(b) && th.desc.Reads.Add(b) {
+		if out := th.fp.Read(b); out.Conflict() {
+			panic(conflictSignal{out})
+		}
+	}
+}
+
+// WriteBlock acquires write ownership of a block without logging a word
+// value; the footprint analogue of Write.
+func (tx *Tx) WriteBlock(b addr.Block) {
+	th := tx.th
+	th.fuzz()
+	if th.desc.Writes.Add(b) {
+		if out := th.fp.Write(b); out.Conflict() {
+			panic(conflictSignal{out})
+		}
+		th.desc.Reads.Remove(b)
+	}
+}
+
+// FootprintBlocks returns the number of distinct chunks the transaction has
+// accessed so far.
+func (tx *Tx) FootprintBlocks() int { return tx.th.desc.FootprintBlocks() }
+
+// LoadNT performs a non-transactional read of address a according to the
+// runtime's isolation level. Under StrongIsolation it returns an error if a
+// transaction holds the chunk with write permission.
+func (th *Thread) LoadNT(a addr.Addr) (uint64, error) {
+	mem := th.rt.cfg.Memory
+	if th.rt.cfg.Isolation == WeakIsolation {
+		return mem.load(a), nil
+	}
+	th.rt.ntReads.Add(1)
+	chunk := th.rt.cfg.Granularity.chunkOf(a)
+	out := th.fp.Read(chunk)
+	if out.Conflict() {
+		th.rt.ntConfl.Add(1)
+		return 0, fmt.Errorf("stm: non-transactional read of %v denied: %v", a, out)
+	}
+	v := mem.load(a)
+	th.fp.ReleaseAll()
+	return v, nil
+}
+
+// StoreNT performs a non-transactional write; under StrongIsolation it is
+// denied while any transaction holds the chunk.
+func (th *Thread) StoreNT(a addr.Addr, v uint64) error {
+	mem := th.rt.cfg.Memory
+	if th.rt.cfg.Isolation == WeakIsolation {
+		mem.store(a, v)
+		return nil
+	}
+	th.rt.ntReads.Add(1)
+	chunk := th.rt.cfg.Granularity.chunkOf(a)
+	out := th.fp.Write(chunk)
+	if out.Conflict() {
+		th.rt.ntConfl.Add(1)
+		return fmt.Errorf("stm: non-transactional write of %v denied: %v", a, out)
+	}
+	mem.store(a, v)
+	th.fp.ReleaseAll()
+	return nil
+}

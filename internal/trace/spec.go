@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"fmt"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/xrand"
+)
+
+// Profile is a per-benchmark memory-behavior model standing in for one
+// SPEC2000 integer benchmark trace (Section 2.3, Figure 3).
+//
+// For the overflow study the decisive structure of a trace is how *new*
+// cache blocks enter the footprint: until the first eviction (= HTM
+// overflow) every previously touched block is still cached, so reuse
+// accesses can never overflow a set. A profile therefore controls:
+//
+//   - NewRate: the probability an access touches a never-seen block. This
+//     sets the dynamic instruction count at overflow (reuse accesses burn
+//     instructions without growing the footprint).
+//   - Placement of new blocks across cache sets:
+//     SeqShare places them sequentially (round-robin over sets, the even
+//     fill of array scans — delays overflow toward full capacity);
+//     StrideShare places them in short bursts along a 8 KiB stride, i.e.
+//     repeatedly into a single set (column walks and conflict-prone
+//     structures — the "hot set" behavior that overflows a 4-way cache
+//     early); the remainder lands uniformly at random (pointer chasing).
+//   - Reuse traffic: a hot stack plus recency-skewed heap reuse; it shapes
+//     instruction counts and read/write mix but not overflow timing.
+//
+// The twelve profiles in SpecProfiles are calibrated so the suite average
+// reproduces the paper's anchors: overflow at ~36% of the 512-block cache,
+// ~23k dynamic instructions, footprint reads:writes ≈ 2:1, and a single
+// victim buffer buying ~16% more footprint and ~30% more instructions.
+type Profile struct {
+	Name string
+	// NewRate is the per-access probability of touching a new block at the
+	// start of the trace.
+	NewRate float64
+	// NewRateDecay models phase behavior: the effective new-block rate is
+	// NewRate / (1 + NewRateDecay·unique), so footprint accrual slows as
+	// the transaction ages (startup touches fresh data, steady state
+	// reuses it). This is what makes extra cache capacity (victim buffer)
+	// buy proportionally more instructions than footprint, as the paper
+	// observes (+30% instructions for +16% footprint).
+	NewRateDecay float64
+	// SeqShare and StrideShare partition new-block placement; the
+	// remaining share (1 − SeqShare − StrideShare) is placed randomly.
+	SeqShare    float64
+	StrideShare float64
+	// StrideBurst is how many consecutive new blocks a stride burst drops
+	// into the same cache set (default 3).
+	StrideBurst int
+	// StackBlocks is the hot-stack size in blocks (default 24).
+	StackBlocks int
+	// StackShare is the fraction of reuse accesses going to the stack
+	// (default 0.5); the rest reuse heap blocks with recency skew.
+	StackShare float64
+	// ZipfS is the recency skew of heap reuse (default 0.8).
+	ZipfS float64
+	// MeanGap is the mean dynamic instructions per memory access
+	// (default 3).
+	MeanGap float64
+	// WritableFraction of blocks may ever be written (default 0.30);
+	// accesses to them write with probability WriteBias (default 0.85).
+	WritableFraction float64
+	WriteBias        float64
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.StrideBurst == 0 {
+		p.StrideBurst = 3
+	}
+	if p.StackBlocks == 0 {
+		p.StackBlocks = 24
+	}
+	if p.StackShare == 0 {
+		p.StackShare = 0.5
+	}
+	if p.ZipfS == 0 {
+		p.ZipfS = 0.8
+	}
+	if p.MeanGap == 0 {
+		p.MeanGap = 3
+	}
+	if p.WritableFraction == 0 {
+		p.WritableFraction = 0.30
+	}
+	if p.WriteBias == 0 {
+		p.WriteBias = 0.85
+	}
+	return p
+}
+
+func (p Profile) validate() error {
+	if p.NewRate <= 0 || p.NewRate > 1 {
+		return fmt.Errorf("trace: profile %q NewRate %v outside (0, 1]", p.Name, p.NewRate)
+	}
+	if p.NewRateDecay < 0 {
+		return fmt.Errorf("trace: profile %q NewRateDecay %v must be >= 0", p.Name, p.NewRateDecay)
+	}
+	if p.SeqShare < 0 || p.StrideShare < 0 || p.SeqShare+p.StrideShare > 1 {
+		return fmt.Errorf("trace: profile %q placement shares invalid (seq=%v stride=%v)",
+			p.Name, p.SeqShare, p.StrideShare)
+	}
+	return nil
+}
+
+// Region bases: distinct high-bit offsets keep the components disjoint.
+const (
+	stackBase  = addr.Block(0x1 << 24)
+	seqBase    = addr.Block(0x2 << 24)
+	randBase   = addr.Block(0x3 << 24)
+	strideBase = addr.Block(0x4 << 24)
+	// setPeriod is the block distance between lines mapping to the same
+	// set of a 32 KB 4-way 64 B cache (128 sets).
+	setPeriod = 128
+	// reuseWindow bounds the recency window for heap reuse.
+	reuseWindow = 2048
+)
+
+// SpecStream generates the access stream of one profile.
+type SpecStream struct {
+	p    Profile
+	rng  *xrand.Rand
+	zipf *xrand.Zipf
+
+	alloc []addr.Block // every heap block touched so far, in first-touch order
+
+	seqNext addr.Block // next sequential placement
+
+	strideLeft int        // remaining new blocks in the current burst
+	stridePos  addr.Block // next stride placement
+	strideRow  uint64     // distinguishes successive bursts' base rows
+}
+
+// NewSpecStream builds a deterministic stream for profile p and seed.
+func NewSpecStream(p Profile, seed uint64) (*SpecStream, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &SpecStream{
+		p:       p,
+		rng:     xrand.New(seed),
+		zipf:    xrand.NewZipf(reuseWindow, p.ZipfS),
+		seqNext: seqBase,
+	}, nil
+}
+
+// Profile returns the stream's profile.
+func (s *SpecStream) Profile() Profile { return s.p }
+
+// writable deterministically partitions blocks into writable and read-only
+// subsets, so the unique-block read:write split is a stable property of the
+// address space rather than of access order.
+func (s *SpecStream) writable(b addr.Block) bool {
+	return float64(xrand.Mix64(uint64(b))%1000) < s.p.WritableFraction*1000
+}
+
+// Next implements Stream.
+func (s *SpecStream) Next() Access {
+	var b addr.Block
+	rate := s.p.NewRate / (1 + s.p.NewRateDecay*float64(len(s.alloc)))
+	if len(s.alloc) == 0 || s.rng.Float64() < rate {
+		b = s.placeNew()
+		s.alloc = append(s.alloc, b)
+	} else {
+		b = s.reuse()
+	}
+	write := s.writable(b) && s.rng.Float64() < s.p.WriteBias
+	gap := 1 + s.rng.Geometric(1/s.p.MeanGap)
+	return Access{Block: b, Write: write, Instrs: gap}
+}
+
+// placeNew chooses where the next new block lands.
+func (s *SpecStream) placeNew() addr.Block {
+	r := s.rng.Float64()
+	switch {
+	case r < s.p.SeqShare:
+		b := s.seqNext
+		s.seqNext++
+		return b
+	case r < s.p.SeqShare+s.p.StrideShare:
+		return s.nextStride()
+	default:
+		return randBase + addr.Block(s.rng.Uint64n(1<<22))
+	}
+}
+
+// nextStride emits new blocks that repeatedly map to a single cache set:
+// consecutive blocks of a burst differ by exactly setPeriod blocks.
+func (s *SpecStream) nextStride() addr.Block {
+	if s.strideLeft == 0 {
+		s.strideLeft = s.p.StrideBurst
+		// A fresh burst starts at a new random set and a fresh row range so
+		// bursts never collide with earlier ones.
+		s.strideRow += 1 << 16
+		s.stridePos = strideBase + addr.Block(s.strideRow*setPeriod) +
+			addr.Block(s.rng.Intn(setPeriod))
+	}
+	b := s.stridePos
+	s.stridePos += setPeriod
+	s.strideLeft--
+	return b
+}
+
+// reuse picks an already-touched block: the hot stack or a recency-skewed
+// heap block.
+func (s *SpecStream) reuse() addr.Block {
+	if s.rng.Float64() < s.p.StackShare {
+		return stackBase + addr.Block(s.rng.Intn(s.p.StackBlocks))
+	}
+	window := len(s.alloc)
+	if window > reuseWindow {
+		window = reuseWindow
+	}
+	i := s.zipf.Sample(s.rng) % window
+	return s.alloc[len(s.alloc)-1-i]
+}
+
+var _ Stream = (*SpecStream)(nil)
+
+// SpecProfiles returns the twelve SPEC2000-integer-like profiles in the
+// order the paper's Figure 3 lists them (bzip2, crafty, eon, gap, gcc,
+// gzip, mcf, parser, perlbmk, twolf, vortex, vpr). Placement shares are
+// calibrated per benchmark: array-heavy codes (mcf, gcc, vortex) fill the
+// cache evenly and overflow late; control- and pointer-heavy codes (eon,
+// twolf, crafty) concentrate on hot sets and overflow early.
+func SpecProfiles() []Profile {
+	return []Profile{
+		{Name: "bzip2", NewRate: 0.0489, NewRateDecay: 0.0150, SeqShare: 0.62, StrideShare: 0.010, MeanGap: 2.6},
+		{Name: "crafty", NewRate: 0.0511, NewRateDecay: 0.0270, SeqShare: 0.30, StrideShare: 0.055, MeanGap: 2.8},
+		{Name: "eon", NewRate: 0.0370, NewRateDecay: 0.0400, SeqShare: 0.20, StrideShare: 0.150, MeanGap: 2.4},
+		{Name: "gap", NewRate: 0.0451, NewRateDecay: 0.0120, SeqShare: 0.84, StrideShare: 0.010, MeanGap: 2.9},
+		{Name: "gcc", NewRate: 0.0440, NewRateDecay: 0.0100, SeqShare: 0.92, StrideShare: 0.006, MeanGap: 3.0},
+		{Name: "gzip", NewRate: 0.0424, NewRateDecay: 0.0200, SeqShare: 0.45, StrideShare: 0.020, MeanGap: 2.5},
+		{Name: "mcf", NewRate: 0.0519, NewRateDecay: 0.0068, SeqShare: 0.995, StrideShare: 0.0008, StrideBurst: 2, MeanGap: 3.6},
+		{Name: "parser", NewRate: 0.0531, NewRateDecay: 0.0167, SeqShare: 0.57, StrideShare: 0.015, MeanGap: 2.7},
+		{Name: "perlbmk", NewRate: 0.0366, NewRateDecay: 0.0231, SeqShare: 0.35, StrideShare: 0.020, MeanGap: 2.6},
+		{Name: "twolf", NewRate: 0.0514, NewRateDecay: 0.0300, SeqShare: 0.25, StrideShare: 0.065, MeanGap: 2.5},
+		{Name: "vortex", NewRate: 0.0476, NewRateDecay: 0.0111, SeqShare: 0.88, StrideShare: 0.010, MeanGap: 3.1},
+		{Name: "vpr", NewRate: 0.0423, NewRateDecay: 0.0214, SeqShare: 0.40, StrideShare: 0.022, MeanGap: 2.7},
+	}
+}
+
+// ProfileByName looks up a profile from SpecProfiles.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range SpecProfiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown profile %q", name)
+}

@@ -1,0 +1,189 @@
+// Package txn provides the per-thread transaction bookkeeping the paper
+// describes in Section 2.1: "each thread executing transactions maintains a
+// (private) per-thread log that tracks the state of the transaction (e.g.,
+// active, committed) and the transaction's footprint including speculative
+// values for writes."
+//
+// The types here are deliberately allocation-friendly: a transaction
+// descriptor is reused across attempts and transactions, so steady-state
+// execution allocates nothing on the fast path.
+package txn
+
+import (
+	"fmt"
+
+	"tmbp/internal/addr"
+)
+
+// Status is the transaction state recorded in the log.
+type Status uint32
+
+// Transaction states.
+const (
+	Idle Status = iota
+	Active
+	Committed
+	Aborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Idle:
+		return "Idle"
+	case Active:
+		return "Active"
+	case Committed:
+		return "Committed"
+	case Aborted:
+		return "Aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", uint32(s))
+	}
+}
+
+// WriteLog is a redo log: the speculative value of every word written by
+// the transaction, applied to memory only at commit. Insertion order is
+// preserved so write-back is deterministic.
+type WriteLog struct {
+	vals  map[uint64]uint64 // word index -> speculative value
+	order []uint64          // word indices in first-write order
+}
+
+// NewWriteLog returns an empty redo log.
+func NewWriteLog() *WriteLog {
+	return &WriteLog{vals: make(map[uint64]uint64)}
+}
+
+// Set records the speculative value for a word, overwriting any prior value.
+func (l *WriteLog) Set(word uint64, val uint64) {
+	if _, ok := l.vals[word]; !ok {
+		l.order = append(l.order, word)
+	}
+	l.vals[word] = val
+}
+
+// Get returns the speculative value for a word, if one was written.
+func (l *WriteLog) Get(word uint64) (uint64, bool) {
+	v, ok := l.vals[word]
+	return v, ok
+}
+
+// Len returns the number of distinct words written.
+func (l *WriteLog) Len() int { return len(l.order) }
+
+// Range calls fn for every (word, value) pair in first-write order.
+func (l *WriteLog) Range(fn func(word uint64, val uint64)) {
+	for _, w := range l.order {
+		fn(w, l.vals[w])
+	}
+}
+
+// Reset clears the log, retaining capacity.
+func (l *WriteLog) Reset() {
+	for _, w := range l.order {
+		delete(l.vals, w)
+	}
+	l.order = l.order[:0]
+}
+
+// BlockSet is an insertion-ordered set of cache blocks: the read or write
+// footprint of a transaction at ownership granularity.
+type BlockSet struct {
+	m     map[addr.Block]struct{}
+	order []addr.Block
+}
+
+// NewBlockSet returns an empty set.
+func NewBlockSet() *BlockSet {
+	return &BlockSet{m: make(map[addr.Block]struct{})}
+}
+
+// Add inserts b, reporting whether it was new.
+func (s *BlockSet) Add(b addr.Block) bool {
+	if _, ok := s.m[b]; ok {
+		return false
+	}
+	s.m[b] = struct{}{}
+	s.order = append(s.order, b)
+	return true
+}
+
+// Has reports membership.
+func (s *BlockSet) Has(b addr.Block) bool {
+	_, ok := s.m[b]
+	return ok
+}
+
+// Remove deletes b, reporting whether it was present. Footprints are small,
+// so the O(n) order-slice fix-up is immaterial.
+func (s *BlockSet) Remove(b addr.Block) bool {
+	if _, ok := s.m[b]; !ok {
+		return false
+	}
+	delete(s.m, b)
+	for i, x := range s.order {
+		if x == b {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Len returns the set size.
+func (s *BlockSet) Len() int { return len(s.order) }
+
+// Range calls fn for each block in insertion order.
+func (s *BlockSet) Range(fn func(b addr.Block)) {
+	for _, b := range s.order {
+		fn(b)
+	}
+}
+
+// Reset clears the set, retaining capacity.
+func (s *BlockSet) Reset() {
+	for _, b := range s.order {
+		delete(s.m, b)
+	}
+	s.order = s.order[:0]
+}
+
+// Desc is the complete per-transaction log: status, attempt counter, block
+// footprints, and the redo log.
+type Desc struct {
+	Status   Status
+	Attempts int // attempts of the current transaction, including the active one
+	Reads    *BlockSet
+	Writes   *BlockSet
+	Redo     *WriteLog
+}
+
+// NewDesc returns a descriptor ready for its first Begin.
+func NewDesc() *Desc {
+	return &Desc{
+		Reads:  NewBlockSet(),
+		Writes: NewBlockSet(),
+		Redo:   NewWriteLog(),
+	}
+}
+
+// Begin marks the start of an attempt, clearing per-attempt state.
+func (d *Desc) Begin() {
+	d.Status = Active
+	d.Attempts++
+	d.Reads.Reset()
+	d.Writes.Reset()
+	d.Redo.Reset()
+}
+
+// StartTransaction resets the attempt counter for a fresh transaction.
+func (d *Desc) StartTransaction() {
+	d.Attempts = 0
+	d.Status = Idle
+}
+
+// FootprintBlocks returns the total number of distinct blocks accessed
+// (reads ∪ writes; the sets are maintained disjointly — a written block is
+// tracked only in Writes).
+func (d *Desc) FootprintBlocks() int { return d.Reads.Len() + d.Writes.Len() }

@@ -1,0 +1,67 @@
+package xrand
+
+import "math"
+
+// Zipf samples from a Zipf(s) distribution over {0, 1, ..., n-1}: value k is
+// drawn with probability proportional to 1/(k+1)^s. It is used by the trace
+// generators to model skewed object popularity (hot structures touched by
+// every transaction, cold ones rarely).
+//
+// The implementation precomputes the CDF and samples by binary search, which
+// is exact and fast for the modest n (≤ a few hundred thousand) used here.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s >= 0.
+// s == 0 degenerates to the uniform distribution. It panics if n <= 0 or
+// s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf called with n <= 0")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf called with s < 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of items in the sampler's support.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one value in [0, N()) using r.
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of value k.
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cdf) {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}

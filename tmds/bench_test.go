@@ -1,0 +1,109 @@
+package tmds
+
+import (
+	"testing"
+
+	"tmbp"
+)
+
+// benchIntset runs the classic sorted-list intset workload through the full
+// stack (tmds.List over the STM) on one table organization.
+func benchIntset(b *testing.B, kind string) {
+	tab, err := tmbp.NewTable(kind, 4096, "mask")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := tmbp.NewMemory(1 << 15)
+	rt, err := tmbp.NewSTM(tmbp.STMConfig{Table: tab, Memory: mem, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := NewList(mem, 0, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := rt.NewThread()
+	for k := uint64(0); k < 128; k += 2 {
+		if _, err := l.Insert(th, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := uint64(7)
+	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := next() % 128
+		switch next() % 10 {
+		case 0, 1:
+			_, err = l.Insert(th, k)
+		case 2, 3:
+			_, err = l.Remove(th, k)
+		default:
+			_, err = l.Contains(th, k)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntsetTagless measures list-set ops over the tagless table.
+func BenchmarkIntsetTagless(b *testing.B) { benchIntset(b, "tagless") }
+
+// BenchmarkIntsetTagged measures list-set ops over the tagged table.
+func BenchmarkIntsetTagged(b *testing.B) { benchIntset(b, "tagged") }
+
+// BenchmarkMapPutGet measures the transactional hash map.
+func BenchmarkMapPutGet(b *testing.B) {
+	tab, err := tmbp.NewTable("tagged", 4096, "fibonacci")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := tmbp.NewMemory(1 << 15)
+	rt, err := tmbp.NewSTM(tmbp.STMConfig{Table: tab, Memory: mem, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMap(mem, 0, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := rt.NewThread()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 512)
+		if _, err := m.Put(th, k, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := m.Get(th, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueue measures enqueue/dequeue round trips.
+func BenchmarkQueue(b *testing.B) {
+	tab, err := tmbp.NewTable("tagged", 1024, "fibonacci")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := tmbp.NewMemory(1 << 12)
+	rt, err := tmbp.NewSTM(tmbp.STMConfig{Table: tab, Memory: mem, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := NewQueue(mem, 0, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := rt.NewThread()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Enqueue(th, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := q.Dequeue(th); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package tmds
+
+import (
+	"fmt"
+
+	"tmbp"
+)
+
+// Queue is a transactional bounded FIFO of uint64 values over a ring
+// buffer. Enqueue and Dequeue conflict only on the head/tail words and the
+// touched slot, so disjoint producers and consumers mostly proceed in
+// parallel — through a *tagged* table; under a small tagless table the
+// head/tail blocks alias with slot blocks of unrelated queues, another
+// miniature of the paper's effect.
+//
+// Representation:
+//
+//	header +0 head index (next dequeue), +1 tail index (next enqueue),
+//	       +2 count
+//	slot i at slotsBase + i*spreadStride
+type Queue struct {
+	mem       *tmbp.Memory
+	head      tmbp.Addr
+	tail      tmbp.Addr
+	count     tmbp.Addr
+	slotsBase int
+	capacity  uint64
+}
+
+// NewQueue carves a Queue of the given capacity out of mem at baseWord.
+func NewQueue(mem *tmbp.Memory, baseWord int, capacity uint64) (*Queue, error) {
+	if capacity == 0 {
+		return nil, fmt.Errorf("tmds: queue capacity must be positive")
+	}
+	r, err := newRegion(mem, baseWord, spreadStride+int(capacity)*spreadStride)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := r.take(spreadStride)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := r.take(int(capacity) * spreadStride)
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{
+		mem:       mem,
+		head:      wordAddr(mem, hdr),
+		tail:      wordAddr(mem, hdr+1),
+		count:     wordAddr(mem, hdr+2),
+		slotsBase: slots,
+		capacity:  capacity,
+	}
+	mem.StoreDirect(q.head, 0)
+	mem.StoreDirect(q.tail, 0)
+	mem.StoreDirect(q.count, 0)
+	return q, nil
+}
+
+// Capacity returns the fixed capacity.
+func (q *Queue) Capacity() uint64 { return q.capacity }
+
+func (q *Queue) slotAddr(i uint64) tmbp.Addr {
+	return wordAddr(q.mem, q.slotsBase+int(i)*spreadStride)
+}
+
+// Enqueue appends v, reporting false if the queue is full.
+func (q *Queue) Enqueue(th *tmbp.Thread, v uint64) (ok bool, err error) {
+	err = th.Atomic(func(tx *tmbp.Tx) error {
+		if tx.Read(q.count) == q.capacity {
+			ok = false
+			return nil
+		}
+		tail := tx.Read(q.tail)
+		tx.Write(q.slotAddr(tail), v)
+		tx.Write(q.tail, (tail+1)%q.capacity)
+		tx.Write(q.count, tx.Read(q.count)+1)
+		ok = true
+		return nil
+	})
+	return ok, err
+}
+
+// Dequeue removes and returns the oldest value.
+func (q *Queue) Dequeue(th *tmbp.Thread) (v uint64, ok bool, err error) {
+	err = th.Atomic(func(tx *tmbp.Tx) error {
+		v, ok = 0, false
+		if tx.Read(q.count) == 0 {
+			return nil
+		}
+		head := tx.Read(q.head)
+		v = tx.Read(q.slotAddr(head))
+		tx.Write(q.head, (head+1)%q.capacity)
+		tx.Write(q.count, tx.Read(q.count)-1)
+		ok = true
+		return nil
+	})
+	return v, ok, err
+}
+
+// Len returns the current element count.
+func (q *Queue) Len(th *tmbp.Thread) (n int, err error) {
+	err = th.Atomic(func(tx *tmbp.Tx) error {
+		n = int(tx.Read(q.count))
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,61 @@
+// Package tmds provides transactional data structures built entirely on the
+// tmbp STM's public API: a sorted linked-list set (the classic STM "intset"
+// workload), an open-addressing hash map, and a bounded FIFO queue.
+//
+// Each structure lives in a caller-provided region of an stm Memory and
+// performs every operation inside a transaction, so concurrent operations
+// from any number of threads are serializable. They are exactly the kind of
+// shared structures the paper's introduction motivates TM for — and because
+// their nodes are spread across cache blocks, they also make vivid
+// demonstrations of the tagless table's false-conflict problem: point the
+// same structure at a tagless table and a tagged table and compare abort
+// rates.
+//
+// All keys and values are uint64. Capacities are fixed at construction
+// (the STM manages a flat word memory, so structures pre-allocate their
+// nodes and manage free lists transactionally).
+package tmds
+
+import (
+	"errors"
+	"fmt"
+
+	"tmbp"
+)
+
+// ErrFull is returned when a structure's fixed capacity is exhausted.
+var ErrFull = errors.New("tmds: structure is full")
+
+// region is a bump allocator over a Memory used at construction time only.
+type region struct {
+	mem  *tmbp.Memory
+	next int // next free word index
+	end  int
+}
+
+func newRegion(mem *tmbp.Memory, baseWord, words int) (*region, error) {
+	if baseWord < 0 || words <= 0 || baseWord+words > mem.Words() {
+		return nil, fmt.Errorf("tmds: region [%d, %d) outside memory of %d words",
+			baseWord, baseWord+words, mem.Words())
+	}
+	return &region{mem: mem, next: baseWord, end: baseWord + words}, nil
+}
+
+// take reserves n words and returns the index of the first.
+func (r *region) take(n int) (int, error) {
+	if r.next+n > r.end {
+		return 0, fmt.Errorf("tmds: region exhausted (%d words short)", r.next+n-r.end)
+	}
+	w := r.next
+	r.next += n
+	return w, nil
+}
+
+// spreadStride is the word distance between logically adjacent nodes. One
+// cache block is 8 words; spreading nodes a block apart mirrors real heap
+// allocation (every node on its own block), which is what makes ownership
+// conflicts node-granular rather than accidental neighbors.
+const spreadStride = 8
+
+// wordAddr converts a word index to its byte address.
+func wordAddr(mem *tmbp.Memory, w int) tmbp.Addr { return mem.WordAddr(w) }
