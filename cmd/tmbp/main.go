@@ -17,9 +17,11 @@
 //	tagged  tagged-table characterization (Section 5)
 //	ablation victim-buffer depth sweep, hash ablation, hash diagnostics
 //	isolation strong-isolation conflict study (Section 6)
+//	scale   STM throughput scaling: goroutines x {tagless, tagged, sharded}
 //	stm     end-to-end STM run: tagless vs tagged abort rates
 //	model   evaluate the conflict model at one configuration
-//	all     everything above, in paper order
+//	all     every figure above, in paper order (scale, stm, and model are
+//	        separate live-runtime/point commands and are not included)
 //
 // Common flags: -seed, -quick, -csv, -samples, -trials, -traces, -hash.
 package main
@@ -54,9 +56,11 @@ subcommands:
   tagged                             tagged-table characterization (Sec. 5)
   ablation                           victim-depth and hash ablations
   isolation                          strong-isolation study (Sec. 6)
+  scale                              throughput scaling across organizations
   stm                                end-to-end STM abort-rate comparison
   model                              evaluate the conflict model at a point
-  all                                run everything in paper order
+  all                                run every figure in paper order
+                                     (scale, stm, model run separately)
 
 run 'tmbp <subcommand> -h' for flags`)
 }
@@ -72,7 +76,8 @@ func commonFlags(fs *flag.FlagSet) func() figures.Options {
 	traces := fs.Int("traces", 0, "override Figure 3 traces per benchmark (paper: 20)")
 	alphaF := fs.Int("alpha", 2, "reads per write in synthetic transactions")
 	hashName := fs.String("hash", "mask", "address hash: mask | fibonacci | mix")
-	kind := fs.String("kind", "tagless", "ownership table under test: tagless | tagged")
+	kind := fs.String("kind", "tagless", "ownership table under test: tagless | tagged | sharded")
+	scaleTxns := fs.Int("scale-txns", 0, "override scaling-experiment transactions per goroutine")
 	return func() figures.Options {
 		o := figures.Paper(*seed)
 		if *quick {
@@ -93,6 +98,9 @@ func commonFlags(fs *flag.FlagSet) func() figures.Options {
 		o.Alpha = *alphaF
 		o.Hash = *hashName
 		o.Kind = *kind
+		if *scaleTxns > 0 {
+			o.ScaleTxns = *scaleTxns
+		}
 		return o
 	}
 }
@@ -121,6 +129,8 @@ func run(cmd string, args []string) error {
 		figFn = figures.Ablations
 	case "isolation":
 		figFn = figures.Isolation
+	case "scale":
+		figFn = figures.Scale
 	case "all":
 		figFn = figures.All
 	case "stm":

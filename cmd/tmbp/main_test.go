@@ -74,6 +74,17 @@ func TestRunIsolationTiny(t *testing.T) {
 	}
 }
 
+func TestRunScaleSubcommand(t *testing.T) {
+	out := capture(t, func() error {
+		return run("scale", append([]string{"-scale-txns", "25"}, tinyArgs...))
+	})
+	for _, want := range []string{"transactions/sec", "abort rate", "sharded/tagged", "GOMAXPROCS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scale output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunSTMSubcommand(t *testing.T) {
 	out := capture(t, func() error {
 		return run("stm", []string{"-threads", "2", "-writes", "4", "-entries", "512", "-txns", "20"})

@@ -1,0 +1,24 @@
+package tmbp
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesBuild compile-checks every program under examples/. The
+// examples are main packages with no test files of their own, so nothing
+// else guards them against facade refactors; `go test ./...` from the module
+// root now does.
+func TestExamplesBuild(t *testing.T) {
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not on PATH: %v", err)
+	}
+	// Building multiple packages discards the binaries, so this is purely a
+	// compile check. The working directory is the module root (this
+	// package's directory), where the examples tree lives.
+	cmd := exec.Command(gobin, "build", "./examples/...")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/... failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,3 @@
+module tmbp
+
+go 1.24

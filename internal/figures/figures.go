@@ -15,6 +15,8 @@
 //	Sizing — the back-of-envelope table-size requirements of Sections
 //	         3.1-3.2.
 //	Tagged — the Section 5 tagged-table characterization.
+//	Scale  — beyond the paper: live STM throughput and abort rate as
+//	         goroutines are added, for all three table organizations.
 package figures
 
 import (
@@ -46,6 +48,9 @@ type Options struct {
 	Hash string
 	// Kind selects the ownership-table organization under test.
 	Kind string
+	// ScaleTxns is the transactions-per-goroutine count for the scaling
+	// experiment.
+	ScaleTxns int
 }
 
 // Paper returns the full-fidelity preset matching the paper's sample
@@ -60,6 +65,7 @@ func Paper(seed uint64) Options {
 		Alpha:          2,
 		Hash:           "mask",
 		Kind:           "tagless",
+		ScaleTxns:      1500,
 	}
 }
 
@@ -71,6 +77,7 @@ func Quick(seed uint64) Options {
 	o.LockstepTrials = 300
 	o.ClosedTrials = 3
 	o.Traces = 8
+	o.ScaleTxns = 300
 	return o
 }
 

@@ -1,0 +1,46 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestScaleSmoke(t *testing.T) {
+	o := tiny()
+	tables, err := Scale(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("Scale returned %d tables, want throughput + abort rate", len(tables))
+	}
+	out := renderAll(t, tables)
+	for _, want := range []string{
+		"Scaling: committed transactions/sec", "Scaling: abort rate",
+		"tagless", "tagged", "sharded", "sharded/tagged", "GOMAXPROCS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One row per goroutine count in each table.
+	for _, g := range ScaleGoroutines {
+		if !strings.Contains(out, strconv.Itoa(g)) {
+			t.Errorf("output missing goroutine count %d", g)
+		}
+	}
+}
+
+func TestScaleValidatesOptions(t *testing.T) {
+	o := tiny()
+	o.ScaleTxns = 0
+	if _, err := Scale(o); err == nil {
+		t.Fatal("zero ScaleTxns accepted")
+	}
+	o = tiny()
+	o.Hash = "bogus"
+	if _, err := Scale(o); err == nil {
+		t.Fatal("unknown hash accepted")
+	}
+}

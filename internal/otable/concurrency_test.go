@@ -1,6 +1,7 @@
 package otable
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -59,11 +60,13 @@ func TestTaggedConcurrentHammer(t *testing.T) {
 	}
 }
 
-// TestTaglessWriteExclusivity checks that two goroutines never both believe
-// they hold the same entry for writing.
-func TestTaglessWriteExclusivity(t *testing.T) {
-	tab := NewTagless(hash.NewMask(16))
-	var holders [16]int32
+// writeExclusivity checks that two goroutines never both believe they hold
+// the same slot for writing: the tracked holder count is incremented after a
+// Granted acquire and decremented just before the release, so any overlap in
+// the acquire-to-release window of two writers is observed at the increment.
+func writeExclusivity(t *testing.T, tab Table) {
+	t.Helper()
+	holders := make(map[uint64]int)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	fail := make(chan string, 1)
@@ -81,10 +84,13 @@ func TestTaglessWriteExclusivity(t *testing.T) {
 					holders[slot]++
 					if holders[slot] != 1 {
 						select {
-						case fail <- "two concurrent writers on one entry":
+						case fail <- "two concurrent writers on one slot":
 						default:
 						}
 					}
+					mu.Unlock()
+					runtime.Gosched() // widen the hold window so overlaps interleave
+					mu.Lock()
 					holders[slot]--
 					mu.Unlock()
 					tab.ReleaseWrite(tx, b)
@@ -98,6 +104,12 @@ func TestTaglessWriteExclusivity(t *testing.T) {
 		t.Fatal(msg)
 	default:
 	}
+}
+
+// TestTaglessWriteExclusivity checks that two goroutines never both believe
+// they hold the same entry for writing.
+func TestTaglessWriteExclusivity(t *testing.T) {
+	writeExclusivity(t, NewTagless(hash.NewMask(16)))
 }
 
 // TestTaggedDisjointConcurrent verifies the no-false-conflict guarantee

@@ -2,7 +2,7 @@
 // the metadata structure a word-based STM uses to track which transactions
 // hold read and write permissions on which regions of memory.
 //
-// Two organizations are provided:
+// Three organizations are provided:
 //
 //   - Tagless (Section 2.1, Figure 1): a flat table of entries, each packing
 //     {mode, owner-or-sharer-count} into one atomic word. Addresses are
@@ -15,7 +15,13 @@
 //     Aliasing addresses get separate records, so false conflicts cannot
 //     occur; the cost is tag storage and (rarely) chain traversal.
 //
-// Both implementations are safe for concurrent use and keep the statistics
+//   - Sharded: a scalability-oriented organization layered on the tagged
+//     design. The index space is split into power-of-two shards selected by
+//     the high bits of the hashed index, each shard an independent tagged
+//     sub-table with private locks, occupancy, and statistics, so threads
+//     working in different shards share no synchronization state.
+//
+// All implementations are safe for concurrent use and keep the statistics
 // the experiments report.
 package otable
 
@@ -106,7 +112,7 @@ func (o Outcome) String() string {
 // can be distinguished from reader conflicts — the tagless table cannot know
 // who its anonymous sharers are.
 type Table interface {
-	// Kind returns "tagless" or "tagged".
+	// Kind returns "tagless", "tagged", or "sharded".
 	Kind() string
 	// N returns the number of first-level entries.
 	N() uint64
@@ -192,15 +198,21 @@ func (c *counters) observeChain(n uint64) {
 	}
 }
 
-// New constructs a table by kind name ("tagless" or "tagged") over the given
-// hash function.
+// New constructs a table by kind name ("tagless", "tagged", or "sharded")
+// over the given hash function. Sharded tables get DefaultShards shards; use
+// NewSharded directly to pick the count.
 func New(kind string, h hash.Func) (Table, error) {
 	switch kind {
 	case "tagless":
 		return NewTagless(h), nil
 	case "tagged":
 		return NewTagged(h), nil
+	case "sharded":
+		return NewSharded(h, DefaultShards(h.N()))
 	default:
-		return nil, fmt.Errorf("otable: unknown table kind %q (want tagless or tagged)", kind)
+		return nil, fmt.Errorf("otable: unknown table kind %q (want tagless, tagged, or sharded)", kind)
 	}
 }
+
+// Kinds lists the available table organizations.
+func Kinds() []string { return []string{"tagless", "tagged", "sharded"} }

@@ -1,0 +1,220 @@
+package otable
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/hash"
+	"tmbp/internal/xrand"
+)
+
+// newShardedT builds a sharded table or fails the test.
+func newShardedT(t testing.TB, h hash.Func, shards uint64) *Sharded {
+	t.Helper()
+	tab, err := NewSharded(h, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewShardedValidation(t *testing.T) {
+	h := hash.NewMask(64)
+	for _, bad := range []uint64{0, 3, 6, 65, 128} {
+		if _, err := NewSharded(h, bad); err == nil {
+			t.Errorf("shard count %d accepted for 64 entries", bad)
+		}
+	}
+	for _, ok := range []uint64{1, 2, 16, 64} {
+		tab, err := NewSharded(h, ok)
+		if err != nil {
+			t.Fatalf("shard count %d rejected: %v", ok, err)
+		}
+		if got := tab.Shards(); got != int(ok) {
+			t.Errorf("Shards() = %d, want %d", got, ok)
+		}
+		if tab.N() != 64 {
+			t.Errorf("N() = %d, want aggregate 64", tab.N())
+		}
+	}
+}
+
+func TestDefaultShards(t *testing.T) {
+	if s := DefaultShards(1 << 20); s == 0 || s&(s-1) != 0 {
+		t.Fatalf("DefaultShards(1M) = %d, not a power of two", s)
+	}
+	// Must clamp to tiny tables.
+	for _, n := range []uint64{1, 2, 4} {
+		if s := DefaultShards(n); s > n {
+			t.Errorf("DefaultShards(%d) = %d exceeds table size", n, s)
+		}
+	}
+}
+
+// TestShardedIndexPreserving checks the high-bits/low-bits split: a block's
+// shard and in-shard bucket recombine to exactly its flat-table index.
+func TestShardedIndexPreserving(t *testing.T) {
+	for _, hashName := range hash.Names() {
+		h, err := hash.New(hashName, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := newShardedT(t, h, 16)
+		perShard := uint64(4096 / 16)
+		rng := xrand.New(7)
+		for i := 0; i < 1000; i++ {
+			b := addr.Block(rng.Uint64n(1 << 40))
+			idx := h.Index(b)
+			shard := tab.ShardOf(b)
+			if shard != idx/perShard {
+				t.Fatalf("%s: ShardOf(%v) = %d, want high bits %d of index %d",
+					hashName, b, shard, idx/perShard, idx)
+			}
+			if got := tab.shards[shard].Hash().Index(b); got != idx%perShard {
+				t.Fatalf("%s: in-shard bucket of %v = %d, want low bits %d",
+					hashName, b, got, idx%perShard)
+			}
+		}
+	}
+}
+
+func TestShardedMatchesOracle(t *testing.T) {
+	check := func(seed uint64) bool {
+		return runOracleComparison(t, func() Table {
+			return newShardedT(t, hash.NewMask(16), 4)
+		}, seed)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedConcurrentHammer(t *testing.T) {
+	tab := newShardedT(t, hash.NewMask(256), 8)
+	hammer(t, tab)
+	if tab.Records() != 0 {
+		t.Fatalf("records after drain = %d", tab.Records())
+	}
+}
+
+// TestShardedSingleShardHammer degenerates to one shard: the sharded table
+// must then behave exactly like a flat tagged table under contention.
+func TestShardedSingleShardHammer(t *testing.T) {
+	hammer(t, newShardedT(t, hash.NewMask(256), 1))
+}
+
+// TestShardedDisjointConcurrent verifies the tagged no-false-conflict
+// guarantee survives sharding: goroutines on disjoint blocks never conflict
+// even when their blocks alias within and across shards.
+func TestShardedDisjointConcurrent(t *testing.T) {
+	tab := newShardedT(t, hash.NewMask(8), 2) // tiny: every bucket chains
+	const goroutines = 8
+	var wg sync.WaitGroup
+	conflicts := make(chan Outcome, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := xrand.NewWithStream(13, uint64(id))
+			fp := NewFootprint(tab, TxID(id+1))
+			for txn := 0; txn < 300; txn++ {
+				for i := 0; i < 6; i++ {
+					b := addr.Block(r.Intn(512)*goroutines + id)
+					var out Outcome
+					if r.Bool() {
+						out = fp.Read(b)
+					} else {
+						out = fp.Write(b)
+					}
+					if out.Conflict() {
+						select {
+						case conflicts <- out:
+						default:
+						}
+					}
+				}
+				fp.ReleaseAll()
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case out := <-conflicts:
+		t.Fatalf("sharded table produced conflict %v on disjoint data", out)
+	default:
+	}
+	if tab.Records() != 0 {
+		t.Fatalf("records = %d", tab.Records())
+	}
+}
+
+// TestShardedStatsAggregate checks that Stats sums the per-shard counters
+// and that ShardStats exposes where the traffic actually landed.
+func TestShardedStatsAggregate(t *testing.T) {
+	tab := newShardedT(t, hash.NewMask(64), 4)
+	fp := NewFootprint(tab, 1)
+	for b := addr.Block(0); b < 64; b++ {
+		fp.Write(b)
+	}
+	agg := tab.Stats()
+	if agg.WriteAcquires != 64 || agg.Records != 64 {
+		t.Fatalf("aggregate stats = %+v, want 64 write acquires and records", agg)
+	}
+	per := tab.ShardStats()
+	if len(per) != 4 {
+		t.Fatalf("ShardStats length = %d", len(per))
+	}
+	var sum uint64
+	for i, st := range per {
+		// Mask hash routes blocks 0..63 evenly: 16 per shard.
+		if st.WriteAcquires != 16 {
+			t.Errorf("shard %d write acquires = %d, want 16", i, st.WriteAcquires)
+		}
+		sum += st.WriteAcquires
+	}
+	if sum != agg.WriteAcquires {
+		t.Fatalf("shard sum %d != aggregate %d", sum, agg.WriteAcquires)
+	}
+	occ := tab.ShardOccupancy()
+	var occSum uint64
+	for _, o := range occ {
+		occSum += o
+	}
+	if occSum != tab.Occupied() {
+		t.Fatalf("shard occupancy sum %d != Occupied %d", occSum, tab.Occupied())
+	}
+	fp.ReleaseAll()
+	if tab.Occupied() != 0 || tab.Records() != 0 {
+		t.Fatalf("drain left occupancy %d records %d", tab.Occupied(), tab.Records())
+	}
+	tab.Reset()
+	if st := tab.Stats(); st != (Stats{}) {
+		t.Fatalf("stats after Reset = %+v", st)
+	}
+}
+
+// TestShardedWriteExclusivity is the sharded analogue of the tagless
+// exclusivity test: no two goroutines may simultaneously hold the same
+// block for writing, across shard boundaries.
+func TestShardedWriteExclusivity(t *testing.T) {
+	writeExclusivity(t, newShardedT(t, hash.NewMask(16), 4))
+}
+
+func TestNewByKindSharded(t *testing.T) {
+	tab, err := New("sharded", hash.NewMask(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Kind() != "sharded" {
+		t.Fatalf("Kind = %q", tab.Kind())
+	}
+	if _, err := New("bogus", hash.NewMask(16)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	kinds := Kinds()
+	if len(kinds) != 3 || kinds[2] != "sharded" {
+		t.Fatalf("Kinds() = %v", kinds)
+	}
+}

@@ -136,7 +136,12 @@ func (t *Tagged) remove(idx uint64, b addr.Block) {
 
 // AcquireRead implements Table.
 func (t *Tagged) AcquireRead(tx TxID, b addr.Block) Outcome {
-	idx := t.h.Index(b)
+	return t.acquireReadAt(t.h.Index(b), tx, b)
+}
+
+// acquireReadAt is AcquireRead with the bucket index precomputed; the
+// sharded table routes here after hashing once at the shard selector.
+func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) Outcome {
 	m := t.lockFor(idx)
 	defer m.Unlock()
 	r := t.find(idx, b)
@@ -162,7 +167,11 @@ func (t *Tagged) AcquireRead(tx TxID, b addr.Block) Outcome {
 // here is always a *true* conflict: the same block is held by another
 // transaction.
 func (t *Tagged) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
-	idx := t.h.Index(b)
+	return t.acquireWriteAt(t.h.Index(b), tx, b, heldReads)
+}
+
+// acquireWriteAt is AcquireWrite with the bucket index precomputed.
+func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uint32) Outcome {
 	m := t.lockFor(idx)
 	defer m.Unlock()
 	r := t.find(idx, b)
@@ -197,7 +206,11 @@ func (t *Tagged) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
 
 // ReleaseRead implements Table.
 func (t *Tagged) ReleaseRead(tx TxID, b addr.Block) {
-	idx := t.h.Index(b)
+	t.releaseReadAt(t.h.Index(b), tx, b)
+}
+
+// releaseReadAt is ReleaseRead with the bucket index precomputed.
+func (t *Tagged) releaseReadAt(idx uint64, tx TxID, b addr.Block) {
 	m := t.lockFor(idx)
 	defer m.Unlock()
 	r := t.find(idx, b)
@@ -213,7 +226,11 @@ func (t *Tagged) ReleaseRead(tx TxID, b addr.Block) {
 
 // ReleaseWrite implements Table.
 func (t *Tagged) ReleaseWrite(tx TxID, b addr.Block) {
-	idx := t.h.Index(b)
+	t.releaseWriteAt(t.h.Index(b), tx, b)
+}
+
+// releaseWriteAt is ReleaseWrite with the bucket index precomputed.
+func (t *Tagged) releaseWriteAt(idx uint64, tx TxID, b addr.Block) {
 	m := t.lockFor(idx)
 	defer m.Unlock()
 	r := t.find(idx, b)

@@ -1,0 +1,109 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+
+	"tmbp/internal/hash"
+	"tmbp/internal/otable"
+)
+
+// TestAtomicHammerAllKinds drives every table organization through the full
+// transactional path — Atomic, redo logging, conflict abort, backoff — with
+// real goroutine contention on a deliberately small table. Run under -race
+// this exercises the CAS entries (tagless), the striped locks (tagged), and
+// the shard routing plus per-thread runtime counters (sharded).
+func TestAtomicHammerAllKinds(t *testing.T) {
+	for _, kind := range otable.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			tab, err := otable.New(kind, hash.NewMask(128))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem := NewMemory(1 << 10)
+			rt, err := New(Config{Table: tab, Memory: mem, Seed: 1, FuzzYield: 0.2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const (
+				goroutines = 8
+				txnsEach   = 150
+				increments = 4
+			)
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(gid int) {
+					defer wg.Done()
+					th := rt.NewThread()
+					for i := 0; i < txnsEach; i++ {
+						if err := th.Atomic(func(tx *Tx) error {
+							for k := 0; k < increments; k++ {
+								a := mem.WordAddr((gid*31 + i*7 + k*13) % mem.Words())
+								tx.Write(a, tx.Read(a)+1)
+							}
+							return nil
+						}); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+			// Every committed increment must be present: the sum over memory
+			// equals goroutines × txns × increments despite all the aborts.
+			var sum uint64
+			for i := 0; i < mem.Words(); i++ {
+				sum += mem.LoadDirect(mem.WordAddr(i))
+			}
+			if want := uint64(goroutines * txnsEach * increments); sum != want {
+				t.Fatalf("lost updates: memory sum = %d, want %d", sum, want)
+			}
+			st := rt.Stats()
+			if st.Commits != goroutines*txnsEach {
+				t.Fatalf("commits = %d, want %d", st.Commits, goroutines*txnsEach)
+			}
+			if occ := tab.Occupied(); occ != 0 {
+				t.Fatalf("%s table occupancy after drain = %d", kind, occ)
+			}
+		})
+	}
+}
+
+// TestStatsAggregatesPerThreadCounters checks that the per-thread counter
+// blocks sum correctly into the runtime-wide snapshot, including threads
+// that never ran a transaction.
+func TestStatsAggregatesPerThreadCounters(t *testing.T) {
+	rt := newRuntime(t, "sharded", 64, 16)
+	a := rt.Memory().WordAddr(0)
+	threads := []*Thread{rt.NewThread(), rt.NewThread(), rt.NewThread()}
+	_ = rt.NewThread() // idle thread: contributes zeroes
+	perThread := []int{5, 3, 2}
+	for i, th := range threads {
+		for j := 0; j < perThread[i]; j++ {
+			if err := th.Atomic(func(tx *Tx) error {
+				tx.Write(a, tx.Read(a)+1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := rt.Stats()
+	if st.Commits != 10 {
+		t.Fatalf("Commits = %d, want 10 summed across threads", st.Commits)
+	}
+	if st.Aborts != 0 {
+		t.Fatalf("Aborts = %d on uncontended run", st.Aborts)
+	}
+	if got := rt.Memory().LoadDirect(a); got != 10 {
+		t.Fatalf("memory word = %d, want 10", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"tmbp/internal/addr"
@@ -114,13 +115,30 @@ type Config struct {
 var ErrTooManyAttempts = errors.New("stm: transaction exceeded maximum attempts")
 
 // Runtime is a configured STM instance shared by all threads of a program.
+//
+// Runtime-wide statistics are kept per thread: every Thread owns a padded
+// counter block it alone writes, and Stats aggregates them on demand. A
+// single pair of global commit/abort atomics would be written on every
+// transaction by every thread — a shared cache line bouncing between cores
+// that caps scalability long before the ownership table does.
 type Runtime struct {
-	cfg     Config
-	nextID  atomic.Uint32
+	cfg    Config
+	nextID atomic.Uint32
+
+	mu       sync.Mutex        // guards counters (append in NewThread, snapshot in Stats)
+	counters []*threadCounters // one block per registered thread
+}
+
+// threadCounters is one thread's slice of the runtime statistics. Each block
+// is its own heap allocation padded to two cache lines, so no two threads'
+// counters ever share a line and the increments on the commit path stay
+// core-local.
+type threadCounters struct {
 	commits atomic.Uint64
 	aborts  atomic.Uint64
 	ntReads atomic.Uint64 // strong-isolation non-transactional probes
 	ntConfl atomic.Uint64 // strong-isolation probes denied by a transaction
+	_       [128 - 4*8]byte
 }
 
 // New validates cfg and returns a Runtime.
@@ -162,14 +180,20 @@ type Stats struct {
 	NTConflicts uint64
 }
 
-// Stats returns a snapshot of the runtime counters.
+// Stats returns a snapshot of the runtime counters, aggregated over all
+// threads ever registered.
 func (rt *Runtime) Stats() Stats {
-	return Stats{
-		Commits:     rt.commits.Load(),
-		Aborts:      rt.aborts.Load(),
-		NTProbes:    rt.ntReads.Load(),
-		NTConflicts: rt.ntConfl.Load(),
+	rt.mu.Lock()
+	counters := rt.counters[:len(rt.counters):len(rt.counters)]
+	rt.mu.Unlock()
+	var s Stats
+	for _, c := range counters {
+		s.Commits += c.commits.Load()
+		s.Aborts += c.aborts.Load()
+		s.NTProbes += c.ntReads.Load()
+		s.NTConflicts += c.ntConfl.Load()
 	}
+	return s
 }
 
 // AbortRate returns aborts / (commits + aborts), 0 when idle.
@@ -184,11 +208,20 @@ func (s Stats) AbortRate() float64 {
 // NewThread registers a new thread with the runtime. Each goroutine that
 // executes transactions must use its own Thread; a Thread is not safe for
 // concurrent use (it owns the private per-thread log of Section 2.1).
+//
+// Threads are meant to be long-lived — one per worker goroutine, not one
+// per work item: each Thread's statistics block stays reachable from the
+// Runtime for the runtime's lifetime so that Stats can aggregate it.
 func (rt *Runtime) NewThread() *Thread {
 	id := otable.TxID(rt.nextID.Add(1))
+	ctr := &threadCounters{}
+	rt.mu.Lock()
+	rt.counters = append(rt.counters, ctr)
+	rt.mu.Unlock()
 	return &Thread{
 		rt:   rt,
 		id:   id,
+		ctr:  ctr,
 		fp:   otable.NewFootprint(rt.cfg.Table, id),
 		desc: txn.NewDesc(),
 		rng:  xrand.NewWithStream(rt.cfg.Seed, uint64(id)),
@@ -200,6 +233,7 @@ func (rt *Runtime) NewThread() *Thread {
 type Thread struct {
 	rt   *Runtime
 	id   otable.TxID
+	ctr  *threadCounters
 	fp   *otable.Footprint
 	desc *txn.Desc
 	rng  *xrand.Rand
@@ -238,7 +272,7 @@ func (th *Thread) Atomic(fn func(tx *Tx) error) error {
 			}
 			return nil // committed
 		}
-		th.rt.aborts.Add(1)
+		th.ctr.aborts.Add(1)
 		if th.rt.cfg.MaxAttempts > 0 && th.desc.Attempts >= th.rt.cfg.MaxAttempts {
 			th.desc.Status = txn.Aborted
 			return fmt.Errorf("%w (%d attempts)", ErrTooManyAttempts, th.desc.Attempts)
@@ -279,7 +313,7 @@ func (th *Thread) commit() {
 		mem.words[word].Store(val)
 	})
 	th.fp.ReleaseAll()
-	th.rt.commits.Add(1)
+	th.ctr.commits.Add(1)
 }
 
 // rollback discards speculative state and releases ownership.
@@ -398,11 +432,11 @@ func (th *Thread) LoadNT(a addr.Addr) (uint64, error) {
 	if th.rt.cfg.Isolation == WeakIsolation {
 		return mem.load(a), nil
 	}
-	th.rt.ntReads.Add(1)
+	th.ctr.ntReads.Add(1)
 	chunk := th.rt.cfg.Granularity.chunkOf(a)
 	out := th.fp.Read(chunk)
 	if out.Conflict() {
-		th.rt.ntConfl.Add(1)
+		th.ctr.ntConfl.Add(1)
 		return 0, fmt.Errorf("stm: non-transactional read of %v denied: %v", a, out)
 	}
 	v := mem.load(a)
@@ -418,11 +452,11 @@ func (th *Thread) StoreNT(a addr.Addr, v uint64) error {
 		mem.store(a, v)
 		return nil
 	}
-	th.rt.ntReads.Add(1)
+	th.ctr.ntReads.Add(1)
 	chunk := th.rt.cfg.Granularity.chunkOf(a)
 	out := th.fp.Write(chunk)
 	if out.Conflict() {
-		th.rt.ntConfl.Add(1)
+		th.ctr.ntConfl.Add(1)
 		return fmt.Errorf("stm: non-transactional write of %v denied: %v", a, out)
 	}
 	mem.store(a, v)

@@ -8,7 +8,7 @@ import (
 )
 
 func TestNewTableKinds(t *testing.T) {
-	for _, kind := range []string{"tagless", "tagged"} {
+	for _, kind := range TableKinds() {
 		for _, h := range []string{"mask", "fibonacci", "mix"} {
 			tab, err := NewTable(kind, 1024, h)
 			if err != nil {
@@ -28,37 +28,64 @@ func TestNewTableKinds(t *testing.T) {
 }
 
 func TestFacadeSTMEndToEnd(t *testing.T) {
-	tab, err := NewTable("tagged", 4096, "fibonacci")
-	if err != nil {
-		t.Fatal(err)
-	}
-	mem := NewMemory(1 << 10)
-	rt, err := NewSTM(STMConfig{Table: tab, Memory: mem, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	const goroutines, each = 4, 100
-	var wg sync.WaitGroup
-	for g := 0; g < goroutines; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			th := rt.NewThread()
-			for i := 0; i < each; i++ {
-				if err := th.Atomic(func(tx *Tx) error {
-					a := mem.WordAddr(0)
-					tx.Write(a, tx.Read(a)+1)
-					return nil
-				}); err != nil {
-					t.Error(err)
-					return
-				}
+	for _, kind := range TableKinds() {
+		t.Run(kind, func(t *testing.T) {
+			tab, err := NewTable(kind, 4096, "fibonacci")
+			if err != nil {
+				t.Fatal(err)
 			}
-		}()
+			mem := NewMemory(1 << 10)
+			rt, err := NewSTM(STMConfig{Table: tab, Memory: mem, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines, each = 4, 100
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := rt.NewThread()
+					for i := 0; i < each; i++ {
+						if err := th.Atomic(func(tx *Tx) error {
+							a := mem.WordAddr(0)
+							tx.Write(a, tx.Read(a)+1)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := mem.LoadDirect(mem.WordAddr(0)); got != goroutines*each {
+				t.Fatalf("counter = %d, want %d", got, goroutines*each)
+			}
+			st := rt.Stats()
+			if st.Commits != goroutines*each {
+				t.Fatalf("commits = %d, want %d", st.Commits, goroutines*each)
+			}
+		})
 	}
-	wg.Wait()
-	if got := mem.LoadDirect(mem.WordAddr(0)); got != goroutines*each {
-		t.Fatalf("counter = %d, want %d", got, goroutines*each)
+}
+
+func TestNewShardedTableFacade(t *testing.T) {
+	tab, err := NewShardedTable(4096, 8, "fibonacci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Kind() != "sharded" || tab.Shards() != 8 || tab.N() != 4096 {
+		t.Fatalf("sharded metadata: kind=%s shards=%d n=%d", tab.Kind(), tab.Shards(), tab.N())
+	}
+	if len(tab.ShardStats()) != 8 {
+		t.Fatalf("ShardStats length = %d", len(tab.ShardStats()))
+	}
+	if _, err := NewShardedTable(4096, 3, "mask"); err == nil {
+		t.Error("non-power-of-two shard count accepted")
+	}
+	if _, err := NewShardedTable(1000, 4, "mask"); err == nil {
+		t.Error("non-power-of-two entry count accepted")
 	}
 }
 

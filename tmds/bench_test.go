@@ -53,6 +53,9 @@ func BenchmarkIntsetTagless(b *testing.B) { benchIntset(b, "tagless") }
 // BenchmarkIntsetTagged measures list-set ops over the tagged table.
 func BenchmarkIntsetTagged(b *testing.B) { benchIntset(b, "tagged") }
 
+// BenchmarkIntsetSharded measures list-set ops over the sharded table.
+func BenchmarkIntsetSharded(b *testing.B) { benchIntset(b, "sharded") }
+
 // BenchmarkMapPutGet measures the transactional hash map.
 func BenchmarkMapPutGet(b *testing.B) {
 	tab, err := tmbp.NewTable("tagged", 4096, "fibonacci")
