@@ -1,0 +1,253 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tmbp/internal/hash"
+	"tmbp/internal/otable"
+	"tmbp/internal/report"
+	"tmbp/internal/stm"
+)
+
+// runBench executes the headline STM micro-workloads against every table
+// organization and reports ns/op, allocs/op, and abort rate — the three
+// numbers this project's performance work is steered by. With -json the
+// result is machine-readable so successive PRs can be diffed against the
+// checked-in BENCH_baseline.json.
+//
+// The harness is deliberately self-contained rather than delegating to
+// `go test -bench`: measuring with a plain loop plus runtime.MemStats keeps
+// the op count (and therefore runtime) an explicit flag, and makes the
+// output format stable for tooling.
+func runBench(fs *flag.FlagSet, args []string) error {
+	jsonOut := fs.Bool("json", false, "emit JSON instead of an aligned table")
+	entries := fs.Uint64("entries", 4096, "ownership table entries (power of two)")
+	hashName := fs.String("hash", "mask", "address hash: mask | fibonacci | mix")
+	serialOps := fs.Int("serial-ops", 200000, "transactions per serial measurement")
+	contOps := fs.Int("contended-ops", 20000, "transactions per goroutine per contended measurement")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var results []benchResult
+	for _, kind := range otable.Kinds() {
+		r, err := benchSerial(kind, *entries, *hashName, *serialOps, *seed)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	for _, kind := range otable.Kinds() {
+		r, err := benchContended(kind, *hashName, *contOps, *seed)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(benchReport{
+			Schema:     1,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Results:    results,
+		})
+	}
+	t := report.New("STM benchmark suite",
+		"workload", "table", "ns/op", "allocs/op", "B/op", "abort rate")
+	for _, r := range results {
+		t.Add(r.Workload+"/"+r.Kind,
+			r.Kind,
+			report.F1(r.NsPerOp),
+			fmt.Sprintf("%.2f", r.AllocsPerOp),
+			fmt.Sprintf("%.1f", r.BytesPerOp),
+			report.Pct(r.AbortRate))
+	}
+	t.Note("serial: one thread, %d 8-access read-modify-write txns; contended: GOMAXPROCS threads x %d single-word read-modify-write txns on a 256-entry table", *serialOps, *contOps)
+	t.Note("allocs/op and B/op are process-wide malloc deltas per transaction; steady state must be 0")
+	return t.Render(os.Stdout)
+}
+
+// benchReport is the JSON envelope of one bench run.
+type benchReport struct {
+	Schema     int           `json:"schema"`
+	GoVersion  string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchResult is one workload x table measurement.
+type benchResult struct {
+	Workload    string  `json:"workload"`
+	Kind        string  `json:"kind"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AbortRate   float64 `json:"abort_rate"`
+	Commits     uint64  `json:"commits"`
+	Aborts      uint64  `json:"aborts"`
+}
+
+// newBenchRuntime assembles a runtime for the bench workloads.
+func newBenchRuntime(kind, hashName string, entries uint64, words int, seed uint64) (*stm.Runtime, error) {
+	h, err := hash.New(hashName, entries)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := otable.New(kind, h)
+	if err != nil {
+		return nil, err
+	}
+	return stm.New(stm.Config{Table: tab, Memory: stm.NewMemory(words), Seed: seed})
+}
+
+// benchSerial measures single-thread transaction latency: the 8-word
+// read-modify-write transaction of the package benchmarks. Allocation is
+// measured as the process-wide malloc delta across the timed region — with
+// a single goroutine this is exact, and in steady state it must be zero.
+func benchSerial(kind string, entries uint64, hashName string, ops int, seed uint64) (benchResult, error) {
+	const words = 1 << 12
+	rt, err := newBenchRuntime(kind, hashName, entries, words, seed)
+	if err != nil {
+		return benchResult{}, err
+	}
+	mem := rt.Memory()
+	th := rt.NewThread()
+	txn := func(i int) error {
+		return th.Atomic(func(tx *stm.Tx) error {
+			for k := 0; k < 8; k++ {
+				a := mem.WordAddr((i*8 + k) % words)
+				tx.Write(a, tx.Read(a)+1)
+			}
+			return nil
+		})
+	}
+	// Warm up: establish access-set capacity and table record pools.
+	for i := 0; i < 1000; i++ {
+		if err := txn(i); err != nil {
+			return benchResult{}, err
+		}
+	}
+	warm := rt.Stats()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := txn(i); err != nil {
+			return benchResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	st := rt.Stats()
+	commits := st.Commits - warm.Commits
+	aborts := st.Aborts - warm.Aborts
+	res := benchResult{
+		Workload:    "serial",
+		Kind:        kind,
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+		Commits:     commits,
+		Aborts:      aborts,
+	}
+	if commits+aborts > 0 {
+		res.AbortRate = float64(aborts) / float64(commits+aborts)
+	}
+	return res, nil
+}
+
+// benchContended measures throughput and abort rate under real goroutine
+// contention on a small, heavily aliasing table (the BenchmarkSTMContended
+// shape). ns/op is wall time over total transactions; the malloc delta is
+// process-wide across all workers. Harness setup stays outside the measured
+// region: threads are created up front and the workers are parked on a
+// start barrier before the clock and MemStats are read, so the measured
+// allocations are the STM's alone and must be zero in steady state.
+func benchContended(kind, hashName string, opsPerG int, seed uint64) (benchResult, error) {
+	const (
+		entries = 256
+		words   = 1 << 12
+	)
+	rt, err := newBenchRuntime(kind, hashName, entries, words, seed)
+	if err != nil {
+		return benchResult{}, err
+	}
+	mem := rt.Memory()
+	goroutines := runtime.GOMAXPROCS(0)
+	ths := make([]*stm.Thread, goroutines)
+	for g := range ths {
+		ths[g] = rt.NewThread()
+	}
+	// run executes ops transactions per worker, measuring only the span
+	// between releasing the parked workers and their last completion.
+	run := func(ops int) (elapsed time.Duration, mallocs, bytes uint64, err error) {
+		start := make(chan struct{})
+		done := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func(gid int) {
+				th := ths[gid]
+				<-start
+				for i := 0; i < ops; i++ {
+					if err := th.Atomic(func(tx *stm.Tx) error {
+						a := mem.WordAddr(((gid + i) * 8 * 31) % words)
+						tx.Write(a, tx.Read(a)+1)
+						return nil
+					}); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}(g)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		close(start)
+		for g := 0; g < goroutines; g++ {
+			if werr := <-done; werr != nil && err == nil {
+				err = werr
+			}
+		}
+		elapsed = time.Since(t0)
+		runtime.ReadMemStats(&after)
+		return elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
+	}
+	if _, _, _, err := run(500); err != nil { // warm-up
+		return benchResult{}, err
+	}
+	warm := rt.Stats()
+	elapsed, mallocs, bytes, err := run(opsPerG)
+	if err != nil {
+		return benchResult{}, err
+	}
+	st := rt.Stats()
+	commits := st.Commits - warm.Commits
+	aborts := st.Aborts - warm.Aborts
+	total := goroutines * opsPerG
+	res := benchResult{
+		Workload:    "contended",
+		Kind:        kind,
+		Ops:         total,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(total),
+		AllocsPerOp: float64(mallocs) / float64(total),
+		BytesPerOp:  float64(bytes) / float64(total),
+		Commits:     commits,
+		Aborts:      aborts,
+	}
+	if commits+aborts > 0 {
+		res.AbortRate = float64(aborts) / float64(commits+aborts)
+	}
+	return res, nil
+}

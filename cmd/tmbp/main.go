@@ -19,6 +19,7 @@
 //	isolation strong-isolation conflict study (Section 6)
 //	scale   STM throughput scaling: goroutines x {tagless, tagged, sharded}
 //	stm     end-to-end STM run: tagless vs tagged abort rates
+//	bench   STM latency/allocation/abort-rate suite (-json for tooling)
 //	model   evaluate the conflict model at one configuration
 //	all     every figure above, in paper order (scale, stm, and model are
 //	        separate live-runtime/point commands and are not included)
@@ -58,6 +59,7 @@ subcommands:
   isolation                          strong-isolation study (Sec. 6)
   scale                              throughput scaling across organizations
   stm                                end-to-end STM abort-rate comparison
+  bench                              ns/op, allocs/op, abort-rate suite (-json)
   model                              evaluate the conflict model at a point
   all                                run every figure in paper order
                                      (scale, stm, model run separately)
@@ -135,6 +137,8 @@ func run(cmd string, args []string) error {
 		figFn = figures.All
 	case "stm":
 		return runSTM(fs, args, csv)
+	case "bench":
+		return runBench(fs, args)
 	case "model":
 		return runModel(fs, args)
 	case "-h", "--help", "help":

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -91,6 +92,52 @@ func TestRunSTMSubcommand(t *testing.T) {
 	})
 	if !strings.Contains(out, "tagless") || !strings.Contains(out, "tagged") {
 		t.Errorf("stm output incomplete:\n%s", out)
+	}
+}
+
+func TestRunBenchSubcommandJSON(t *testing.T) {
+	out := capture(t, func() error {
+		return run("bench", []string{"-json", "-serial-ops", "200", "-contended-ops", "50"})
+	})
+	var rep struct {
+		Schema  int `json:"schema"`
+		Results []struct {
+			Workload    string  `json:"workload"`
+			Kind        string  `json:"kind"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+			AbortRate   float64 `json:"abort_rate"`
+			Commits     uint64  `json:"commits"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bench -json emitted invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Schema != 1 || len(rep.Results) != 6 {
+		t.Fatalf("bench report shape: schema=%d results=%d", rep.Schema, len(rep.Results))
+	}
+	kinds := map[string]bool{}
+	for _, r := range rep.Results {
+		kinds[r.Workload+"/"+r.Kind] = true
+		if r.NsPerOp <= 0 || r.Commits == 0 {
+			t.Errorf("%s/%s: ns_per_op=%v commits=%d", r.Workload, r.Kind, r.NsPerOp, r.Commits)
+		}
+	}
+	for _, want := range []string{"serial/tagless", "serial/tagged", "serial/sharded", "contended/sharded"} {
+		if !kinds[want] {
+			t.Errorf("bench report missing %s", want)
+		}
+	}
+}
+
+func TestRunBenchSubcommandTable(t *testing.T) {
+	out := capture(t, func() error {
+		return run("bench", []string{"-serial-ops", "200", "-contended-ops", "50"})
+	})
+	for _, want := range []string{"ns/op", "allocs/op", "abort rate", "sharded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench table output missing %q:\n%s", want, out)
+		}
 	}
 }
 

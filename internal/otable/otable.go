@@ -141,6 +141,17 @@ type Table interface {
 	Reset()
 }
 
+// BlockSlotted is the optional interface of tables whose SlotOf is the
+// identity over blocks — every block is its own slot, so distinct chunks can
+// never share a release obligation. The STM uses it to skip the per-access
+// slot-aliasing bookkeeping that only tagless tables need: with identity
+// slots, one probe of the thread's access set fully resolves both
+// membership and slot ownership.
+type BlockSlotted interface {
+	// SlotsAreBlocks reports SlotOf(b) == uint64(b) for every block b.
+	SlotsAreBlocks() bool
+}
+
 // Stats is a snapshot of table operation counters.
 type Stats struct {
 	ReadAcquires  uint64 // successful read acquires (Granted or AlreadyHeld)

@@ -105,6 +105,9 @@ func (t *Sharded) Shards() int { return len(t.shards) }
 // slot — records are per-block, so aliasing blocks never conflict.
 func (t *Sharded) SlotOf(b addr.Block) uint64 { return uint64(b) }
 
+// SlotsAreBlocks implements BlockSlotted: SlotOf is the identity.
+func (t *Sharded) SlotsAreBlocks() bool { return true }
+
 // ShardOf returns the shard index block b routes to: the high bits of its
 // hashed table index.
 func (t *Sharded) ShardOf(b addr.Block) uint64 { return t.h.Index(b) >> t.perShardBits }

@@ -21,7 +21,7 @@ import (
 type Tagged struct {
 	h       hash.Func
 	buckets []*record
-	stripes []sync.Mutex
+	stripes []stripe
 	mask    uint64 // stripe index mask
 	occ     int64  // non-empty buckets; guarded by aggregate of stripes (updated under stripe lock, read racily via Occupied)
 	occMu   sync.Mutex
@@ -38,6 +38,36 @@ type record struct {
 	next    *record
 }
 
+// stripe is one bucket lock plus its private pool of retired records.
+// Records are only ever inserted and removed under the stripe lock of their
+// bucket, so pooling per stripe makes the acquire path allocation-free in
+// steady state without any extra synchronization: a released record goes
+// onto the free list of the stripe it lived in and is handed back by the
+// next insert through that stripe. The pool is unbounded but its size is
+// capped by the historical maximum of concurrently live records per stripe
+// — transaction footprints, in practice. The padding keeps each stripe on
+// its own cache line so neighboring stripe locks don't false-share.
+type stripe struct {
+	mu   sync.Mutex
+	free *record
+	_    [64 - 16]byte
+}
+
+// get returns a pooled record or allocates one. Caller holds st.mu.
+func (st *stripe) get() *record {
+	if r := st.free; r != nil {
+		st.free = r.next
+		return r
+	}
+	return new(record)
+}
+
+// put retires a record to the pool. Caller holds st.mu.
+func (st *stripe) put(r *record) {
+	*r = record{next: st.free}
+	st.free = r
+}
+
 // defaultStripes is the number of bucket locks. 256 keeps contention
 // negligible for the thread counts in the paper (≤ 8) while bounding memory.
 const defaultStripes = 256
@@ -52,7 +82,7 @@ func NewTagged(h hash.Func) *Tagged {
 	return &Tagged{
 		h:       h,
 		buckets: make([]*record, n),
-		stripes: make([]sync.Mutex, stripes),
+		stripes: make([]stripe, stripes),
 		mask:    stripes - 1,
 	}
 }
@@ -70,11 +100,14 @@ func (t *Tagged) Hash() hash.Func { return t.h }
 // per-block.
 func (t *Tagged) SlotOf(b addr.Block) uint64 { return uint64(b) }
 
+// SlotsAreBlocks implements BlockSlotted: SlotOf is the identity.
+func (t *Tagged) SlotsAreBlocks() bool { return true }
+
 // lockFor locks the stripe covering bucket idx and returns it.
-func (t *Tagged) lockFor(idx uint64) *sync.Mutex {
-	m := &t.stripes[idx&t.mask]
-	m.Lock()
-	return m
+func (t *Tagged) lockFor(idx uint64) *stripe {
+	st := &t.stripes[idx&t.mask]
+	st.mu.Lock()
+	return st
 }
 
 // find walks the bucket chain for tag b, counting traversals, and returns
@@ -114,13 +147,15 @@ func (t *Tagged) insert(idx uint64, r *record) {
 	t.stats.observeChain(n)
 }
 
-// remove unlinks the record with tag b from bucket idx. Caller holds the
-// stripe lock. It panics if the record is absent (caller bookkeeping bug).
-func (t *Tagged) remove(idx uint64, b addr.Block) {
+// remove unlinks the record with tag b from bucket idx and retires it to
+// st's pool. Caller holds the stripe lock. It panics if the record is
+// absent (caller bookkeeping bug).
+func (t *Tagged) remove(st *stripe, idx uint64, b addr.Block) {
 	p := &t.buckets[idx]
 	for *p != nil {
-		if (*p).tag == b {
-			*p = (*p).next
+		if r := *p; r.tag == b {
+			*p = r.next
+			st.put(r)
 			t.stats.records.Add(^uint64(0)) // -1
 			if t.buckets[idx] == nil {
 				t.occMu.Lock()
@@ -142,12 +177,14 @@ func (t *Tagged) AcquireRead(tx TxID, b addr.Block) Outcome {
 // acquireReadAt is AcquireRead with the bucket index precomputed; the
 // sharded table routes here after hashing once at the shard selector.
 func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) Outcome {
-	m := t.lockFor(idx)
-	defer m.Unlock()
+	st := t.lockFor(idx)
+	defer st.mu.Unlock()
 	r := t.find(idx, b)
 	switch {
 	case r == nil:
-		t.insert(idx, &record{tag: b, mode: Read, sharers: 1})
+		nr := st.get()
+		nr.tag, nr.mode, nr.sharers = b, Read, 1
+		t.insert(idx, nr)
 		t.stats.readAcquires.Add(1)
 		return Granted
 	case r.mode == Read:
@@ -172,12 +209,14 @@ func (t *Tagged) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
 
 // acquireWriteAt is AcquireWrite with the bucket index precomputed.
 func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uint32) Outcome {
-	m := t.lockFor(idx)
-	defer m.Unlock()
+	st := t.lockFor(idx)
+	defer st.mu.Unlock()
 	r := t.find(idx, b)
 	switch {
 	case r == nil:
-		t.insert(idx, &record{tag: b, mode: Write, owner: tx})
+		nr := st.get()
+		nr.tag, nr.mode, nr.owner = b, Write, tx
+		t.insert(idx, nr)
 		t.stats.writeAcquires.Add(1)
 		return Granted
 	case r.mode == Read:
@@ -211,15 +250,15 @@ func (t *Tagged) ReleaseRead(tx TxID, b addr.Block) {
 
 // releaseReadAt is ReleaseRead with the bucket index precomputed.
 func (t *Tagged) releaseReadAt(idx uint64, tx TxID, b addr.Block) {
-	m := t.lockFor(idx)
-	defer m.Unlock()
+	st := t.lockFor(idx)
+	defer st.mu.Unlock()
 	r := t.find(idx, b)
 	if r == nil || r.mode != Read || r.sharers == 0 {
 		panic(fmt.Sprintf("otable: ReleaseRead by tx %d on block %v with no read record", tx, b))
 	}
 	r.sharers--
 	if r.sharers == 0 {
-		t.remove(idx, b)
+		t.remove(st, idx, b)
 	}
 	t.stats.releases.Add(1)
 }
@@ -231,13 +270,13 @@ func (t *Tagged) ReleaseWrite(tx TxID, b addr.Block) {
 
 // releaseWriteAt is ReleaseWrite with the bucket index precomputed.
 func (t *Tagged) releaseWriteAt(idx uint64, tx TxID, b addr.Block) {
-	m := t.lockFor(idx)
-	defer m.Unlock()
+	st := t.lockFor(idx)
+	defer st.mu.Unlock()
 	r := t.find(idx, b)
 	if r == nil || r.mode != Write || r.owner != tx {
 		panic(fmt.Sprintf("otable: ReleaseWrite by tx %d on block %v it does not own", tx, b))
 	}
-	t.remove(idx, b)
+	t.remove(st, idx, b)
 	t.stats.releases.Add(1)
 }
 
@@ -281,10 +320,14 @@ func (t *Tagged) ChainLengths() []uint64 {
 // Stats implements Table.
 func (t *Tagged) Stats() Stats { return t.stats.snapshot() }
 
-// Reset implements Table.
+// Reset implements Table. Pooled records are dropped along with the live
+// ones, returning the table to its freshly-built memory footprint.
 func (t *Tagged) Reset() {
 	for i := range t.buckets {
 		t.buckets[i] = nil
+	}
+	for i := range t.stripes {
+		t.stripes[i].free = nil
 	}
 	t.occMu.Lock()
 	t.occ = 0

@@ -14,11 +14,30 @@
 // table slots: permissions are acquired before data access and held until
 // commit or abort, which yields serializable transactions. Contention
 // management is self-abort with randomized exponential backoff.
+//
+// # The unified per-thread log
+//
+// The per-thread bookkeeping the paper calls "the private per-thread log"
+// is one open-addressed, insertion-ordered access set (txn.AccessSet)
+// keyed by chunk. Each entry carries the chunk's permission bits, its
+// ownership-table slot key and release obligation, and the redo values of
+// the chunk's words inline, so the hot path does exactly one probe per
+// transactional Read or Write — where the earlier design did up to four
+// map operations across a redo log, two footprint sets, and the slot map —
+// and commit/abort walk the dense entry array once, writing back
+// speculative values and releasing slots in first-access order. Small
+// transactions live entirely in an inline array inside the Thread; larger
+// footprints spill to a growable probe table whose capacity is retained
+// across attempts and transactions, and retirement is a generation-counter
+// bump rather than per-entry deletes. Together with a reused Tx handle and
+// pooled ownership records in the tagged table, a steady-state transaction
+// performs zero heap allocations end to end.
 package stm
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -218,25 +237,41 @@ func (rt *Runtime) NewThread() *Thread {
 	rt.mu.Lock()
 	rt.counters = append(rt.counters, ctr)
 	rt.mu.Unlock()
-	return &Thread{
-		rt:   rt,
-		id:   id,
-		ctr:  ctr,
-		fp:   otable.NewFootprint(rt.cfg.Table, id),
-		desc: txn.NewDesc(),
-		rng:  xrand.NewWithStream(rt.cfg.Seed, uint64(id)),
+	slotID := false
+	if bs, ok := rt.cfg.Table.(otable.BlockSlotted); ok {
+		slotID = bs.SlotsAreBlocks()
 	}
+	th := &Thread{
+		rt:       rt,
+		id:       id,
+		ctr:      ctr,
+		tab:      rt.cfg.Table,
+		mem:      rt.cfg.Memory,
+		wordGran: rt.cfg.Granularity == WordGranularity,
+		slotID:   slotID,
+		rng:      xrand.NewWithStream(rt.cfg.Seed, uint64(id)),
+	}
+	th.tx.th = th
+	return th
 }
 
-// Thread is one transaction-executing thread: its identity, footprint,
-// descriptor, and backoff state.
+// Thread is one transaction-executing thread: its identity, unified
+// per-thread log, and backoff state. The descriptor (including the inline
+// access-set storage) and the Tx handle are embedded and reused across
+// attempts and transactions, so steady-state execution never allocates.
 type Thread struct {
-	rt   *Runtime
-	id   otable.TxID
-	ctr  *threadCounters
-	fp   *otable.Footprint
-	desc *txn.Desc
-	rng  *xrand.Rand
+	rt  *Runtime
+	id  otable.TxID
+	ctr *threadCounters
+	// tab/mem/wordGran/slotID cache the config the hot path consults on
+	// every access.
+	tab      otable.Table
+	mem      *Memory
+	wordGran bool // ownership tracked per word rather than per block
+	slotID   bool // table slots are blocks: no cross-chunk slot aliasing
+	desc     txn.Desc
+	rng      *xrand.Rand
+	tx       Tx
 }
 
 // ID returns the thread's transaction identity.
@@ -246,8 +281,16 @@ func (th *Thread) ID() otable.TxID { return th.id }
 func (th *Thread) Attempts() int { return th.desc.Attempts }
 
 // conflictSignal is panicked internally on ownership conflicts and caught
-// in Atomic; user code never observes it.
-type conflictSignal struct{ out otable.Outcome }
+// in Atomic; user code never observes it. A single preallocated sentinel is
+// thrown so even the abort path stays allocation-free.
+type conflictSignal struct{}
+
+var conflictSentinel = &conflictSignal{}
+
+// conflict aborts the current attempt.
+func (th *Thread) conflict() {
+	panic(conflictSentinel)
+}
 
 // fuzz yields the processor with the configured probability; see
 // Config.FuzzYield.
@@ -284,10 +327,9 @@ func (th *Thread) Atomic(fn func(tx *Tx) error) error {
 // attempt runs fn once. It reports the user error (nil on commit) and
 // whether the attempt was killed by an ownership conflict.
 func (th *Thread) attempt(fn func(tx *Tx) error) (err error, conflicted bool) {
-	tx := &Tx{th: th}
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(conflictSignal); !ok {
+			if r != any(conflictSentinel) {
 				th.rollback()
 				panic(r) // user panic: release ownership, propagate
 			}
@@ -295,7 +337,7 @@ func (th *Thread) attempt(fn func(tx *Tx) error) (err error, conflicted bool) {
 			conflicted = true
 		}
 	}()
-	if err := fn(tx); err != nil {
+	if err := fn(&th.tx); err != nil {
 		th.rollback()
 		return err, false
 	}
@@ -305,21 +347,42 @@ func (th *Thread) attempt(fn func(tx *Tx) error) (err error, conflicted bool) {
 
 // commit makes the transaction's writes visible and releases ownership:
 // write-back happens strictly before release, so any transaction that later
-// acquires a written block observes the committed values.
+// acquires a written block observes the committed values. Both phases are
+// single walks of the dense access array in first-access order.
 func (th *Thread) commit() {
 	th.desc.Status = txn.Committed
-	mem := th.rt.cfg.Memory
-	th.desc.Redo.Range(func(word uint64, val uint64) {
-		mem.words[word].Store(val)
-	})
-	th.fp.ReleaseAll()
+	set := &th.desc.Set
+	words := th.mem.words
+	for i, n := 0, set.Len(); i < n; i++ {
+		e := set.At(i)
+		for m := e.WMask; m != 0; m &= m - 1 {
+			w := uint64(bits.TrailingZeros8(m))
+			words[e.Word+w].Store(e.Vals[w])
+		}
+	}
+	th.releaseAll()
 	th.ctr.commits.Add(1)
 }
 
 // rollback discards speculative state and releases ownership.
 func (th *Thread) rollback() {
 	th.desc.Status = txn.Aborted
-	th.fp.ReleaseAll()
+	th.releaseAll()
+}
+
+// releaseAll returns every held slot to the table in first-access order —
+// the obligation-carrying entries of the access set — and retires the set.
+func (th *Thread) releaseAll() {
+	set := &th.desc.Set
+	for i, n := 0, set.Len(); i < n; i++ {
+		e := set.At(i)
+		if e.Perm&txn.SlotWrite != 0 {
+			th.tab.ReleaseWrite(th.id, e.Rel)
+		} else if e.Perm&txn.SlotRead != 0 {
+			th.tab.ReleaseRead(th.id, e.Rel)
+		}
+	}
+	set.Reset()
 }
 
 // backoff yields the processor a randomized, exponentially growing number
@@ -346,31 +409,51 @@ func (th *Thread) backoff(attempt int) {
 }
 
 // Tx is the handle user code receives inside Atomic. It is valid only for
-// the duration of the enclosing attempt.
+// the duration of the enclosing attempt. One Tx is embedded in each Thread
+// and reused across attempts, so beginning a transaction allocates nothing.
 type Tx struct {
 	th *Thread
+}
+
+// blockWordShift converts a word index to its block number; blockWordMask
+// extracts the word-in-block offset.
+const (
+	blockWordShift = addr.BlockShift - addr.WordShift
+	blockWordMask  = 1<<blockWordShift - 1
+)
+
+// locate maps address a to its memory word, ownership chunk, and
+// word-in-chunk offset under the runtime's granularity. At word granularity
+// the chunk is the word itself and the offset is always zero.
+func (th *Thread) locate(a addr.Addr) (word uint64, chunk addr.Block, widx uint64) {
+	word = th.mem.index(a)
+	if th.wordGran {
+		return word, addr.Block(word), 0
+	}
+	return word, addr.Block(word >> blockWordShift), word & blockWordMask
 }
 
 // Read returns the word at address a as of the transaction's serialization
 // point, acquiring read ownership of a's chunk. On conflict the attempt is
 // rolled back and retried; user code simply never continues past the Read.
+//
+// The hit path is a single access-set probe: one entry answers membership,
+// permission coverage, and read-own-writes at once.
 func (tx *Tx) Read(a addr.Addr) uint64 {
 	th := tx.th
 	th.fuzz()
-	chunk := th.rt.cfg.Granularity.chunkOf(a)
-	mem := th.rt.cfg.Memory
-	word := mem.index(a)
-	// Read-own-writes: the redo log wins over memory.
-	if v, ok := th.desc.Redo.Get(word); ok {
-		return v
-	}
-	if !th.desc.Writes.Has(chunk) && th.desc.Reads.Add(chunk) {
-		out := th.fp.Read(chunk)
-		if out.Conflict() {
-			panic(conflictSignal{out})
+	word, chunk, widx := th.locate(a)
+	if e := th.desc.Set.Lookup(chunk); e != nil {
+		// Read-own-writes: the inline redo value wins over memory. Any
+		// existing entry holds at least read permission, so memory is
+		// directly readable otherwise.
+		if e.WMask&(1<<widx) != 0 {
+			return e.Vals[widx]
 		}
+		return th.mem.words[word].Load()
 	}
-	return mem.words[word].Load()
+	th.acquireReadChunk(chunk)
+	return th.mem.words[word].Load()
 }
 
 // Write records v as the speculative value of the word at a, acquiring
@@ -378,20 +461,17 @@ func (tx *Tx) Read(a addr.Addr) uint64 {
 func (tx *Tx) Write(a addr.Addr, v uint64) {
 	th := tx.th
 	th.fuzz()
-	chunk := th.rt.cfg.Granularity.chunkOf(a)
-	mem := th.rt.cfg.Memory
-	word := mem.index(a)
-	if th.desc.Writes.Add(chunk) {
-		out := th.fp.Write(chunk)
-		if out.Conflict() {
-			panic(conflictSignal{out})
-		}
-		// Keep the descriptor's sets disjoint: a chunk promoted from read
-		// to write (the ownership upgrade happened in fp.Write) lives in
-		// Writes only.
-		th.desc.Reads.Remove(chunk)
+	word, chunk, widx := th.locate(a)
+	e := th.desc.Set.Lookup(chunk)
+	switch {
+	case e == nil:
+		e = th.acquireWriteChunk(chunk)
+	case e.Perm&txn.PermWrite == 0:
+		th.upgradeWriteChunk(e)
 	}
-	th.desc.Redo.Set(word, v)
+	e.Word = word - widx
+	e.Vals[widx] = v
+	e.WMask |= 1 << widx
 }
 
 // ReadBlock acquires read ownership of an entire block footprint element
@@ -400,10 +480,8 @@ func (tx *Tx) Write(a addr.Addr, v uint64) {
 func (tx *Tx) ReadBlock(b addr.Block) {
 	th := tx.th
 	th.fuzz()
-	if !th.desc.Writes.Has(b) && th.desc.Reads.Add(b) {
-		if out := th.fp.Read(b); out.Conflict() {
-			panic(conflictSignal{out})
-		}
+	if th.desc.Set.Lookup(b) == nil {
+		th.acquireReadChunk(b)
 	}
 }
 
@@ -412,11 +490,137 @@ func (tx *Tx) ReadBlock(b addr.Block) {
 func (tx *Tx) WriteBlock(b addr.Block) {
 	th := tx.th
 	th.fuzz()
-	if th.desc.Writes.Add(b) {
-		if out := th.fp.Write(b); out.Conflict() {
-			panic(conflictSignal{out})
+	e := th.desc.Set.Lookup(b)
+	switch {
+	case e == nil:
+		th.acquireWriteChunk(b)
+	case e.Perm&txn.PermWrite == 0:
+		th.upgradeWriteChunk(e)
+	}
+}
+
+// acquireReadChunk acquires read permission for a chunk with no access-set
+// entry yet, inserts the entry, and returns it. On a denied acquire the
+// attempt aborts with no state change.
+func (th *Thread) acquireReadChunk(chunk addr.Block) *txn.Access {
+	set := &th.desc.Set
+	slot := uint64(chunk)
+	covered := false
+	if !th.slotID {
+		// Non-identity slots (tagless): an earlier entry for an aliasing
+		// chunk may already hold covering permission on the slot — read or
+		// write both cover a read, and no table traffic is needed.
+		slot = th.tab.SlotOf(chunk)
+		covered = set.FindSlotOwner(slot) >= 0
+	}
+	var out otable.Outcome
+	if !covered {
+		out = th.tab.AcquireRead(th.id, chunk)
+		if out.Conflict() {
+			th.conflict()
 		}
-		th.desc.Reads.Remove(b)
+	}
+	e := set.Insert(chunk)
+	e.Slot = slot
+	e.Perm = txn.PermRead
+	if !covered && out == otable.Granted {
+		// Granted created a release obligation; AlreadyHeld (covering
+		// exclusive permission the table attributes to us) did not.
+		e.Perm |= txn.SlotRead
+		if !th.slotID {
+			set.RecordSlotOwner(e)
+		}
+	}
+	return e
+}
+
+// acquireWriteChunk acquires write permission for a chunk with no
+// access-set entry yet, inserts the entry, and returns it.
+func (th *Thread) acquireWriteChunk(chunk addr.Block) *txn.Access {
+	set := &th.desc.Set
+	slot := uint64(chunk)
+	if !th.slotID {
+		slot = th.tab.SlotOf(chunk)
+		if oi := set.FindSlotOwner(slot); oi >= 0 {
+			if owner := set.At(oi); owner.Perm&txn.SlotWrite == 0 {
+				// The slot is held with our read share: a private upgrade.
+				out := th.tab.AcquireWrite(th.id, chunk, 1)
+				if out.Conflict() {
+					th.conflict()
+				}
+				owner.Perm = owner.Perm&^txn.SlotRead | txn.SlotWrite
+				owner.Rel = chunk
+			}
+			e := set.Insert(chunk)
+			e.Slot = slot
+			e.Perm = txn.PermWrite
+			return e
+		}
+	}
+	out := th.tab.AcquireWrite(th.id, chunk, 0)
+	if out.Conflict() {
+		th.conflict()
+	}
+	e := set.Insert(chunk)
+	e.Slot = slot
+	e.Perm = txn.PermWrite
+	if out == otable.Granted {
+		e.Perm |= txn.SlotWrite
+		if !th.slotID {
+			set.RecordSlotOwner(e)
+		}
+	}
+	return e
+}
+
+// upgradeWriteChunk promotes an existing read-only entry to write
+// permission, upgrading the slot's ownership when this transaction holds
+// its read share. On conflict (foreign readers or writer) the attempt
+// aborts with the entry unchanged, so rollback still releases the held
+// share.
+func (th *Thread) upgradeWriteChunk(e *txn.Access) {
+	if th.slotID {
+		held := uint32(0)
+		if e.Perm&txn.SlotRead != 0 {
+			held = 1
+		}
+		out := th.tab.AcquireWrite(th.id, e.Chunk, held)
+		if out.Conflict() {
+			th.conflict()
+		}
+		e.Perm = e.Perm&^txn.SlotRead | txn.PermWrite
+		if out != otable.AlreadyHeld {
+			e.Perm |= txn.SlotWrite
+		}
+		return
+	}
+	set := &th.desc.Set
+	if oi := set.FindSlotOwner(e.Slot); oi >= 0 {
+		owner := set.At(oi)
+		if owner.Perm&txn.SlotWrite == 0 {
+			out := th.tab.AcquireWrite(th.id, e.Chunk, 1)
+			if out.Conflict() {
+				th.conflict()
+			}
+			// The obligation stays with the first-touch owner entry so
+			// release order matches first-acquire order; the representative
+			// block follows the upgrade as in the footprint design.
+			owner.Perm = owner.Perm&^txn.SlotRead | txn.SlotWrite
+			owner.Rel = e.Chunk
+		}
+		e.Perm |= txn.PermWrite
+		return
+	}
+	// No owner on record: covering permission was attributed to us by the
+	// table without an obligation; acquire directly.
+	out := th.tab.AcquireWrite(th.id, e.Chunk, 0)
+	if out.Conflict() {
+		th.conflict()
+	}
+	e.Perm |= txn.PermWrite
+	if out == otable.Granted {
+		e.Perm |= txn.SlotWrite
+		set.RecordSlotOwner(e)
 	}
 }
 
@@ -427,6 +631,13 @@ func (tx *Tx) FootprintBlocks() int { return tx.th.desc.FootprintBlocks() }
 // LoadNT performs a non-transactional read of address a according to the
 // runtime's isolation level. Under StrongIsolation it returns an error if a
 // transaction holds the chunk with write permission.
+//
+// Non-transactional accesses touch exactly one table slot and release
+// exactly what they acquired, never the thread's transactional holdings:
+// LoadNT and StoreNT are safe to call from inside Atomic, where an active
+// transaction's footprint must survive them. (An earlier design routed NT
+// probes through the thread's shared footprint and released it wholesale —
+// silently dropping a live transaction's ownership.)
 func (th *Thread) LoadNT(a addr.Addr) (uint64, error) {
 	mem := th.rt.cfg.Memory
 	if th.rt.cfg.Isolation == WeakIsolation {
@@ -434,18 +645,27 @@ func (th *Thread) LoadNT(a addr.Addr) (uint64, error) {
 	}
 	th.ctr.ntReads.Add(1)
 	chunk := th.rt.cfg.Granularity.chunkOf(a)
-	out := th.fp.Read(chunk)
+	out := th.tab.AcquireRead(th.id, chunk)
 	if out.Conflict() {
 		th.ctr.ntConfl.Add(1)
 		return 0, fmt.Errorf("stm: non-transactional read of %v denied: %v", a, out)
 	}
 	v := mem.load(a)
-	th.fp.ReleaseAll()
+	if out == otable.Granted {
+		th.tab.ReleaseRead(th.id, chunk)
+	}
+	// AlreadyHeld: this thread's own active transaction owns the slot
+	// exclusively; the release obligation stays with the transaction.
 	return v, nil
 }
 
 // StoreNT performs a non-transactional write; under StrongIsolation it is
-// denied while any transaction holds the chunk.
+// denied while any transaction holds the chunk — including a read share
+// held by this thread's own active transaction, which a non-transactional
+// write may not silently upgrade. If the calling thread's transaction holds
+// the chunk exclusively the store is applied immediately and may later be
+// overwritten by the transaction's own commit write-back. See LoadNT for
+// the one-slot acquire/release discipline.
 func (th *Thread) StoreNT(a addr.Addr, v uint64) error {
 	mem := th.rt.cfg.Memory
 	if th.rt.cfg.Isolation == WeakIsolation {
@@ -454,12 +674,14 @@ func (th *Thread) StoreNT(a addr.Addr, v uint64) error {
 	}
 	th.ctr.ntReads.Add(1)
 	chunk := th.rt.cfg.Granularity.chunkOf(a)
-	out := th.fp.Write(chunk)
+	out := th.tab.AcquireWrite(th.id, chunk, 0)
 	if out.Conflict() {
 		th.ctr.ntConfl.Add(1)
 		return fmt.Errorf("stm: non-transactional write of %v denied: %v", a, out)
 	}
 	mem.store(a, v)
-	th.fp.ReleaseAll()
+	if out == otable.Granted {
+		th.tab.ReleaseWrite(th.id, chunk)
+	}
 	return nil
 }

@@ -1,0 +1,293 @@
+package stm
+
+import (
+	"fmt"
+	"testing"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/hash"
+	"tmbp/internal/otable"
+	"tmbp/internal/txn"
+	"tmbp/internal/xrand"
+)
+
+// This file oracle-tests the unified access set against the structures it
+// replaced: the map-backed BlockSet read/write footprints, the WriteLog
+// redo map, and the slot-keyed otable.Footprint. A model STM built from the
+// old triple (replicating the pre-unification Tx logic operation for
+// operation) and the real runtime are driven through identical random
+// transaction sequences over recording tables, and must produce
+//
+//   - the identical sequence of ownership-table operations and outcomes
+//     (same acquires in the same order with the same heldReads, same
+//     releases in the same first-acquire order),
+//   - the same read values (read-own-writes included),
+//   - the same footprint sizes after every operation, and
+//   - the same final memory contents,
+//
+// across all three table kinds and both granularities, with aborted
+// transactions leaving no trace.
+
+// recTable wraps a Table and logs every ownership operation with its
+// outcome.
+type recTable struct {
+	inner otable.Table
+	log   []string
+}
+
+func (r *recTable) Kind() string               { return r.inner.Kind() }
+func (r *recTable) N() uint64                  { return r.inner.N() }
+func (r *recTable) SlotOf(b addr.Block) uint64 { return r.inner.SlotOf(b) }
+func (r *recTable) Occupied() uint64           { return r.inner.Occupied() }
+func (r *recTable) Stats() otable.Stats        { return r.inner.Stats() }
+func (r *recTable) Reset()                     { r.inner.Reset() }
+
+func (r *recTable) AcquireRead(tx otable.TxID, b addr.Block) otable.Outcome {
+	out := r.inner.AcquireRead(tx, b)
+	r.log = append(r.log, fmt.Sprintf("AR %d -> %v", b, out))
+	return out
+}
+
+func (r *recTable) AcquireWrite(tx otable.TxID, b addr.Block, heldReads uint32) otable.Outcome {
+	out := r.inner.AcquireWrite(tx, b, heldReads)
+	r.log = append(r.log, fmt.Sprintf("AW %d held=%d -> %v", b, heldReads, out))
+	return out
+}
+
+func (r *recTable) ReleaseRead(tx otable.TxID, b addr.Block) {
+	r.inner.ReleaseRead(tx, b)
+	r.log = append(r.log, fmt.Sprintf("RR %d", b))
+}
+
+func (r *recTable) ReleaseWrite(tx otable.TxID, b addr.Block) {
+	r.inner.ReleaseWrite(tx, b)
+	r.log = append(r.log, fmt.Sprintf("RW %d", b))
+}
+
+// SlotsAreBlocks forwards the identity-slot capability so the runtime takes
+// the same fast path it would on the bare table.
+func (r *recTable) SlotsAreBlocks() bool {
+	bs, ok := r.inner.(otable.BlockSlotted)
+	return ok && bs.SlotsAreBlocks()
+}
+
+// oldModel is the pre-unification per-thread log: the exact Tx.Read/Write/
+// ReadBlock/WriteBlock/commit/rollback logic over BlockSet+WriteLog+
+// Footprint, kept as the executable specification.
+type oldModel struct {
+	tab      *recTable
+	fp       *otable.Footprint
+	reads    *txn.BlockSet
+	writes   *txn.BlockSet
+	redo     *txn.WriteLog
+	mem      []uint64
+	wordGran bool
+}
+
+func newOldModel(tab *recTable, id otable.TxID, words int, wordGran bool) *oldModel {
+	return &oldModel{
+		tab:      tab,
+		fp:       otable.NewFootprint(tab, id),
+		reads:    txn.NewBlockSet(),
+		writes:   txn.NewBlockSet(),
+		redo:     txn.NewWriteLog(),
+		mem:      make([]uint64, words),
+		wordGran: wordGran,
+	}
+}
+
+func (m *oldModel) chunkOf(word uint64) addr.Block {
+	if m.wordGran {
+		return addr.Block(word)
+	}
+	return addr.Block(word >> (addr.BlockShift - addr.WordShift))
+}
+
+func (m *oldModel) read(word uint64) uint64 {
+	if v, ok := m.redo.Get(word); ok {
+		return v
+	}
+	chunk := m.chunkOf(word)
+	if !m.writes.Has(chunk) && m.reads.Add(chunk) {
+		if out := m.fp.Read(chunk); out.Conflict() {
+			panic("oracle model conflicted single-threaded")
+		}
+	}
+	return m.mem[word]
+}
+
+func (m *oldModel) write(word uint64, v uint64) {
+	chunk := m.chunkOf(word)
+	if m.writes.Add(chunk) {
+		if out := m.fp.Write(chunk); out.Conflict() {
+			panic("oracle model conflicted single-threaded")
+		}
+		m.reads.Remove(chunk)
+	}
+	m.redo.Set(word, v)
+}
+
+func (m *oldModel) readBlock(b addr.Block) {
+	if !m.writes.Has(b) && m.reads.Add(b) {
+		if out := m.fp.Read(b); out.Conflict() {
+			panic("oracle model conflicted single-threaded")
+		}
+	}
+}
+
+func (m *oldModel) writeBlock(b addr.Block) {
+	if m.writes.Add(b) {
+		if out := m.fp.Write(b); out.Conflict() {
+			panic("oracle model conflicted single-threaded")
+		}
+		m.reads.Remove(b)
+	}
+}
+
+func (m *oldModel) footprint() int { return m.reads.Len() + m.writes.Len() }
+
+func (m *oldModel) finish(commit bool) {
+	if commit {
+		m.redo.Range(func(word, val uint64) { m.mem[word] = val })
+	}
+	m.fp.ReleaseAll()
+	m.reads.Reset()
+	m.writes.Reset()
+	m.redo.Reset()
+}
+
+// oracleOp is one scripted transactional operation.
+type oracleOp struct {
+	kind int // 0 read, 1 write, 2 readBlock, 3 writeBlock
+	word uint64
+	blk  addr.Block
+	val  uint64
+}
+
+func TestUnifiedLogMatchesOldTripleOracle(t *testing.T) {
+	const (
+		words   = 64
+		entries = 16 // small: heavy aliasing under tagless
+		txns    = 60
+		seeds   = 8
+	)
+	for _, kind := range otable.Kinds() {
+		for _, gran := range []Granularity{BlockGranularity, WordGranularity} {
+			name := fmt.Sprintf("%s/%s", kind, gran)
+			t.Run(name, func(t *testing.T) {
+				for seed := uint64(1); seed <= seeds; seed++ {
+					runUnifiedLogOracle(t, kind, gran, words, entries, txns, seed)
+				}
+			})
+		}
+	}
+}
+
+func runUnifiedLogOracle(t *testing.T, kind string, gran Granularity, words int, entries uint64, txns int, seed uint64) {
+	t.Helper()
+	newRec := func() *recTable {
+		tab, err := otable.New(kind, hash.NewMask(entries))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &recTable{inner: tab}
+	}
+	realTab, modelTab := newRec(), newRec()
+	mem := NewMemory(words)
+	rt, err := New(Config{Table: realTab, Memory: mem, Granularity: gran, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.NewThread()
+	model := newOldModel(modelTab, th.ID(), words, gran == WordGranularity)
+
+	r := xrand.New(seed)
+	for tn := 0; tn < txns; tn++ {
+		nops := r.Intn(12) + 1
+		ops := make([]oracleOp, nops)
+		for i := range ops {
+			ops[i] = oracleOp{
+				kind: r.Intn(4),
+				word: r.Uint64n(uint64(words)),
+				blk:  addr.Block(r.Uint64n(10)),
+				val:  r.Uint64(),
+			}
+		}
+		abort := r.Intn(5) == 0
+
+		// Model pass: compute expected read values and footprints.
+		expReads := make([]uint64, nops)
+		expFeet := make([]int, nops)
+		for i, op := range ops {
+			switch op.kind {
+			case 0:
+				expReads[i] = model.read(op.word)
+			case 1:
+				model.write(op.word, op.val)
+			case 2:
+				model.readBlock(op.blk)
+			case 3:
+				model.writeBlock(op.blk)
+			}
+			expFeet[i] = model.footprint()
+		}
+		model.finish(!abort)
+
+		// Real pass over the same script.
+		sentinel := fmt.Errorf("scripted abort")
+		err := th.Atomic(func(tx *Tx) error {
+			for i, op := range ops {
+				switch op.kind {
+				case 0:
+					if got := tx.Read(mem.WordAddr(int(op.word))); got != expReads[i] {
+						t.Fatalf("%s seed=%d txn=%d op=%d: Read(word %d) = %d, model %d",
+							kind, seed, tn, i, op.word, got, expReads[i])
+					}
+				case 1:
+					tx.Write(mem.WordAddr(int(op.word)), op.val)
+				case 2:
+					tx.ReadBlock(op.blk)
+				case 3:
+					tx.WriteBlock(op.blk)
+				}
+				if got := tx.FootprintBlocks(); got != expFeet[i] {
+					t.Fatalf("%s seed=%d txn=%d op=%d: footprint = %d, model %d",
+						kind, seed, tn, i, got, expFeet[i])
+				}
+			}
+			if abort {
+				return sentinel
+			}
+			return nil
+		})
+		if abort != (err != nil) {
+			t.Fatalf("%s seed=%d txn=%d: err = %v, abort = %v", kind, seed, tn, err, abort)
+		}
+
+		// Ownership traffic must be operation-for-operation identical.
+		if len(realTab.log) != len(modelTab.log) {
+			t.Fatalf("%s seed=%d txn=%d: table op counts diverge: real %d vs model %d\nreal: %v\nmodel: %v",
+				kind, seed, tn, len(realTab.log), len(modelTab.log), realTab.log, modelTab.log)
+		}
+		for i := range realTab.log {
+			if realTab.log[i] != modelTab.log[i] {
+				t.Fatalf("%s seed=%d txn=%d: table op %d diverges: real %q vs model %q",
+					kind, seed, tn, i, realTab.log[i], modelTab.log[i])
+			}
+		}
+		realTab.log, modelTab.log = realTab.log[:0], modelTab.log[:0]
+	}
+
+	// Final memory identical; both tables drained.
+	for w := 0; w < words; w++ {
+		if got := mem.LoadDirect(mem.WordAddr(w)); got != model.mem[w] {
+			t.Fatalf("%s seed=%d: final word %d = %d, model %d", kind, seed, w, got, model.mem[w])
+		}
+	}
+	if occ := realTab.Occupied(); occ != 0 {
+		t.Fatalf("%s seed=%d: real table occupancy = %d", kind, seed, occ)
+	}
+	if occ := modelTab.Occupied(); occ != 0 {
+		t.Fatalf("%s seed=%d: model table occupancy = %d", kind, seed, occ)
+	}
+}

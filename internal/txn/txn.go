@@ -45,6 +45,12 @@ func (s Status) String() string {
 // WriteLog is a redo log: the speculative value of every word written by
 // the transaction, applied to memory only at commit. Insertion order is
 // preserved so write-back is deterministic.
+//
+// WriteLog and BlockSet are the original map-backed log structures. The STM
+// hot path no longer uses them — the unified AccessSet subsumes both with a
+// single probe — but they remain as the executable specification the
+// AccessSet is oracle-tested against, and as convenient general-purpose
+// structures for simulators.
 type WriteLog struct {
 	vals  map[uint64]uint64 // word index -> speculative value
 	order []uint64          // word indices in first-write order
@@ -149,32 +155,24 @@ func (s *BlockSet) Reset() {
 	s.order = s.order[:0]
 }
 
-// Desc is the complete per-transaction log: status, attempt counter, block
-// footprints, and the redo log.
+// Desc is the complete per-transaction log: status, attempt counter, and
+// the unified access set carrying footprint membership, slot holdings, and
+// redo values. It is embedded by value in each STM thread and reused across
+// attempts and transactions, so steady-state execution allocates nothing.
 type Desc struct {
 	Status   Status
 	Attempts int // attempts of the current transaction, including the active one
-	Reads    *BlockSet
-	Writes   *BlockSet
-	Redo     *WriteLog
+	Set      AccessSet
 }
 
 // NewDesc returns a descriptor ready for its first Begin.
-func NewDesc() *Desc {
-	return &Desc{
-		Reads:  NewBlockSet(),
-		Writes: NewBlockSet(),
-		Redo:   NewWriteLog(),
-	}
-}
+func NewDesc() *Desc { return &Desc{} }
 
 // Begin marks the start of an attempt, clearing per-attempt state.
 func (d *Desc) Begin() {
 	d.Status = Active
 	d.Attempts++
-	d.Reads.Reset()
-	d.Writes.Reset()
-	d.Redo.Reset()
+	d.Set.Reset()
 }
 
 // StartTransaction resets the attempt counter for a fresh transaction.
@@ -183,7 +181,6 @@ func (d *Desc) StartTransaction() {
 	d.Status = Idle
 }
 
-// FootprintBlocks returns the total number of distinct blocks accessed
-// (reads ∪ writes; the sets are maintained disjointly — a written block is
-// tracked only in Writes).
-func (d *Desc) FootprintBlocks() int { return d.Reads.Len() + d.Writes.Len() }
+// FootprintBlocks returns the total number of distinct chunks accessed
+// (reads ∪ writes: every access, read or written, is exactly one entry).
+func (d *Desc) FootprintBlocks() int { return d.Set.Len() }

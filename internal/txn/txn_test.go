@@ -106,15 +106,16 @@ func TestDescLifecycle(t *testing.T) {
 	if d.Status != Active || d.Attempts != 1 {
 		t.Fatalf("after Begin: %v attempts=%d", d.Status, d.Attempts)
 	}
-	d.Reads.Add(1)
-	d.Writes.Add(2)
-	d.Redo.Set(16, 99)
+	d.Set.Insert(1).Perm = PermRead | SlotRead
+	e := d.Set.Insert(2)
+	e.Perm = PermWrite | SlotWrite
+	e.Vals[0], e.WMask, e.Word = 99, 1, 16
 	if d.FootprintBlocks() != 2 {
 		t.Fatalf("footprint = %d", d.FootprintBlocks())
 	}
 	d.Status = Aborted
 	d.Begin() // retry clears per-attempt state
-	if d.Attempts != 2 || d.Reads.Len() != 0 || d.Writes.Len() != 0 || d.Redo.Len() != 0 {
+	if d.Attempts != 2 || d.Set.Len() != 0 || d.Set.Lookup(1) != nil {
 		t.Fatal("retry did not clear state")
 	}
 	d.Status = Committed

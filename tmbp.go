@@ -14,7 +14,9 @@
 //     independently synchronized tagged sub-tables selected by the high
 //     hash bits, for multi-core scalability);
 //   - a complete STM runtime (begin/read/write/commit/abort, redo logging,
-//     contention management, weak/strong isolation);
+//     contention management, weak/strong isolation) whose per-thread
+//     bookkeeping is a single open-addressed access set — one probe per
+//     transactional access, zero heap allocations in steady state;
 //   - the analytical model (conflict likelihood ∝ C(C−1)(1+2α)W²/2N) and
 //     its birthday-paradox underpinnings;
 //   - simulators and synthetic workloads reproducing Figures 2-6.

@@ -9,6 +9,7 @@ import (
 // benchIntset runs the classic sorted-list intset workload through the full
 // stack (tmds.List over the STM) on one table organization.
 func benchIntset(b *testing.B, kind string) {
+	b.ReportAllocs()
 	tab, err := tmbp.NewTable(kind, 4096, "mask")
 	if err != nil {
 		b.Fatal(err)
@@ -58,6 +59,7 @@ func BenchmarkIntsetSharded(b *testing.B) { benchIntset(b, "sharded") }
 
 // BenchmarkMapPutGet measures the transactional hash map.
 func BenchmarkMapPutGet(b *testing.B) {
+	b.ReportAllocs()
 	tab, err := tmbp.NewTable("tagged", 4096, "fibonacci")
 	if err != nil {
 		b.Fatal(err)
@@ -86,6 +88,7 @@ func BenchmarkMapPutGet(b *testing.B) {
 
 // BenchmarkQueue measures enqueue/dequeue round trips.
 func BenchmarkQueue(b *testing.B) {
+	b.ReportAllocs()
 	tab, err := tmbp.NewTable("tagged", 1024, "fibonacci")
 	if err != nil {
 		b.Fatal(err)
