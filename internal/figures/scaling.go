@@ -17,9 +17,9 @@ import (
 // live STM's throughput as goroutines are added, across all three ownership
 // table organizations. The paper's analysis bounds how often transactions
 // conflict; this experiment exposes the other scalability axis — how much
-// the table's own synchronization (CAS retries, stripe locks, occupancy and
-// statistics counters) costs as concurrency grows, which is exactly what
-// the sharded organization is built to reduce.
+// the table's own synchronization (CAS retries, occupancy and statistics
+// counters, shared cache lines) costs as concurrency grows, which is
+// exactly what the sharded organization is built to reduce.
 
 // Scaling-experiment grid constants.
 var (

@@ -1,0 +1,147 @@
+package otable
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/hash"
+	"tmbp/internal/xrand"
+)
+
+// TestHotBucketHammer drives concurrent acquire/release/upgrade traffic
+// from many goroutines onto a handful of blocks that all hash to a single
+// bucket — maximum aliasing, the worst case for the lock-free chain walk.
+// It asserts the two properties the ownership table owes its callers under
+// real concurrency:
+//
+//   - exclusivity: a granted write never overlaps another holder on the
+//     same slot, and granted reads never overlap a writer, checked through
+//     a per-slot guard counter that only permission holders touch;
+//   - no lost releases: after every goroutine has released everything, all
+//     guards read zero and the table drains to zero occupancy (and zero
+//     records for the per-block tables).
+//
+// With more aliasing blocks than reapDepth, the tagged/sharded chains keep
+// free parked records past the reap threshold, so the hammer also
+// exercises the claim-versus-condemn CAS arbitration and the helped
+// mark/unlink/retire pipeline concurrently with fresh inserts — the full
+// record lifecycle, under -race.
+func TestHotBucketHammer(t *testing.T) {
+	const (
+		buckets    = 64 // table entries; sharded splits them across shards
+		aliases    = 8  // blocks on one bucket: > reapDepth forces reaping
+		hot        = addr.Block(5)
+		goroutines = 8
+		iters      = 4000
+		wrGuard    = int64(1) << 32 // writer's guard stamp; reads add 1
+	)
+	mk := func(kind string) Table {
+		tab, err := New(kind, hash.NewMask(buckets))
+		if err != nil {
+			t.Fatalf("New(%q): %v", kind, err)
+		}
+		return tab
+	}
+	for _, kind := range Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			tab := mk(kind)
+			blocks := make([]addr.Block, aliases)
+			for i := range blocks {
+				blocks[i] = hot + addr.Block(i*buckets) // all hash to bucket hot
+			}
+			// One guard per slot: per block for tagged/sharded, one shared
+			// guard for tagless (where the aliasing blocks are one slot).
+			guards := make(map[uint64]*atomic.Int64)
+			guardOf := make([]*atomic.Int64, aliases)
+			for i, b := range blocks {
+				slot := tab.SlotOf(b)
+				if guards[slot] == nil {
+					guards[slot] = new(atomic.Int64)
+				}
+				guardOf[i] = guards[slot]
+			}
+			var violations atomic.Int64
+			var upgrades, writes, reads atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					r := xrand.NewWithStream(99, uint64(id))
+					tx := TxID(id + 1)
+					for i := 0; i < iters; i++ {
+						bi := r.Intn(aliases)
+						b, guard := blocks[bi], guardOf[bi]
+						switch r.Intn(3) {
+						case 0: // read, then release
+							if tab.AcquireRead(tx, b) != Granted {
+								continue
+							}
+							if guard.Add(1) <= 0 {
+								violations.Add(1) // writer held the slot
+							}
+							reads.Add(1)
+							guard.Add(-1)
+							tab.ReleaseRead(tx, b)
+						case 1: // write, then release
+							out := tab.AcquireWrite(tx, b, 0)
+							if out != Granted {
+								continue
+							}
+							if guard.Add(-wrGuard) != -wrGuard {
+								violations.Add(1) // someone else held the slot
+							}
+							writes.Add(1)
+							guard.Add(wrGuard)
+							tab.ReleaseWrite(tx, b)
+						default: // read, try to upgrade, release what's held
+							if tab.AcquireRead(tx, b) != Granted {
+								continue
+							}
+							if guard.Add(1) <= 0 {
+								violations.Add(1)
+							}
+							if tab.AcquireWrite(tx, b, 1) == Upgraded {
+								// Our share became exclusivity: swap the
+								// read stamp for the write stamp and verify
+								// no one else is inside.
+								if guard.Add(-wrGuard-1) != -wrGuard {
+									violations.Add(1)
+								}
+								upgrades.Add(1)
+								guard.Add(wrGuard)
+								tab.ReleaseWrite(tx, b)
+							} else {
+								guard.Add(-1)
+								tab.ReleaseRead(tx, b)
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if n := violations.Load(); n != 0 {
+				t.Fatalf("%d exclusivity violations on the hot bucket", n)
+			}
+			for slot, g := range guards {
+				if v := g.Load(); v != 0 {
+					t.Fatalf("guard for slot %d = %d after drain, want 0", slot, v)
+				}
+			}
+			if occ := tab.Occupied(); occ != 0 {
+				t.Fatalf("occupancy after drain = %d, want 0 (lost release)", occ)
+			}
+			if rt, ok := tab.(interface{ Records() uint64 }); ok {
+				if n := rt.Records(); n != 0 {
+					t.Fatalf("records after drain = %d, want 0 (lost release)", n)
+				}
+			}
+			if reads.Load() == 0 || writes.Load() == 0 || upgrades.Load() == 0 {
+				t.Fatalf("hammer did not exercise all paths: reads=%d writes=%d upgrades=%d",
+					reads.Load(), writes.Load(), upgrades.Load())
+			}
+		})
+	}
+}

@@ -10,19 +10,23 @@
 //     distinct addresses that map to the same entry are indistinguishable —
 //     the source of the false conflicts the paper quantifies.
 //
-//   - Tagged (Section 5, Figure 7): buckets hold either a single inline
-//     ownership record or a chain of records, each carrying the address tag.
-//     Aliasing addresses get separate records, so false conflicts cannot
-//     occur; the cost is tag storage and (rarely) chain traversal.
+//   - Tagged (Section 5, Figure 7): buckets hold chains of records, each
+//     carrying the address tag. Aliasing addresses get separate records, so
+//     false conflicts cannot occur; the cost is tag storage and (rarely)
+//     chain traversal. Chains are lock-free: heads and links are CAS-able
+//     words and every acquire/release is one CAS on a record's packed state
+//     word — see the Tagged type for the record lifecycle and its
+//     invariants.
 //
 //   - Sharded: a scalability-oriented organization layered on the tagged
 //     design. The index space is split into power-of-two shards selected by
-//     the high bits of the hashed index, each shard an independent tagged
-//     sub-table with private locks, occupancy, and statistics, so threads
-//     working in different shards share no synchronization state.
+//     the high bits of the hashed index, each shard an independent
+//     lock-free tagged sub-table with private record slab, occupancy, and
+//     statistics, so threads working in different shards share no
+//     synchronization state at all — not even CAS targets.
 //
-// All implementations are safe for concurrent use and keep the statistics
-// the experiments report.
+// All implementations are lock-free and safe for concurrent use, and keep
+// the statistics the experiments report.
 package otable
 
 import (
@@ -104,13 +108,23 @@ func (o Outcome) String() string {
 	}
 }
 
-// Table is the common interface of the two ownership table organizations.
+// Table is the common interface of the ownership table organizations.
 //
 // Callers are responsible for tracking their own holdings per slot (see
 // Footprint): AcquireWrite must be told how many read shares the calling
 // transaction already holds on the target slot so that read→write upgrades
 // can be distinguished from reader conflicts — the tagless table cannot know
 // who its anonymous sharers are.
+//
+// All implementations are lock-free: every acquire and release linearizes
+// at a single compare-and-swap on the slot's state word, so a denied
+// outcome reflects a state that truly existed at that instant, and an
+// acquire that raced a release observes one side of the CAS order or the
+// other — never a torn intermediate. Callers may therefore release from
+// commit paths while other transactions spin on acquires of the same slot;
+// the acquirer that wins the post-release state sees every memory write the
+// releaser published before releasing, provided the releaser wrote before
+// calling Release (the STM's write-back-then-release commit order).
 type Table interface {
 	// Kind returns "tagless", "tagged", or "sharded".
 	Kind() string
@@ -159,12 +173,14 @@ type Stats struct {
 	Upgrades      uint64 // read→write upgrades
 	Conflicts     uint64 // denied acquires
 	Releases      uint64 // release operations
-	ChainFollows  uint64 // tagged only: chain links traversed past a bucket head
-	Records       uint64 // tagged only: live ownership records
+	ChainFollows  uint64 // tagged only: records traversed past a bucket head, in any state (physical walk cost)
+	Records       uint64 // tagged only: held ownership records
 	MaxChain      uint64 // tagged only: maximum bucket chain length observed
 }
 
-// counters is the shared atomic implementation behind Stats.
+// counters is the shared atomic implementation behind Stats. (Records is
+// not a counter: the tagged table derives it from its per-bucket held
+// counts, see Tagged.Records.)
 type counters struct {
 	readAcquires  atomic.Uint64
 	writeAcquires atomic.Uint64
@@ -172,7 +188,6 @@ type counters struct {
 	conflicts     atomic.Uint64
 	releases      atomic.Uint64
 	chainFollows  atomic.Uint64
-	records       atomic.Uint64
 	maxChain      atomic.Uint64
 }
 
@@ -184,7 +199,6 @@ func (c *counters) snapshot() Stats {
 		Conflicts:     c.conflicts.Load(),
 		Releases:      c.releases.Load(),
 		ChainFollows:  c.chainFollows.Load(),
-		Records:       c.records.Load(),
 		MaxChain:      c.maxChain.Load(),
 	}
 }
@@ -196,7 +210,6 @@ func (c *counters) reset() {
 	c.conflicts.Store(0)
 	c.releases.Store(0)
 	c.chainFollows.Store(0)
-	c.records.Store(0)
 	c.maxChain.Store(0)
 }
 

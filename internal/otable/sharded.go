@@ -16,13 +16,16 @@ import (
 // index-preserving — a block lands in exactly the bucket it would occupy in
 // one flat N-entry tagged table.
 //
-// What sharding buys is concurrency, not a different conflict model:
-// records carry tags, so false conflicts remain impossible, and the paper's
+// What sharding buys is isolation, not a different conflict model: records
+// carry tags, so false conflicts remain impossible, and the paper's
 // per-table sizing rule (Eq. 8) applies to the aggregate N exactly as for
-// the flat tagged table. But every mutex, occupancy counter, and statistics
-// word is private to a shard, so S threads touching different shards share
-// no synchronization state at all — the slot contention and cache-line
-// ping-pong of a single table drop by roughly a factor of S.
+// the flat tagged table. The tagged sub-tables are already lock-free, so
+// within one shard threads only ever contend on the CAS words of the
+// bucket and record they actually touch; sharding additionally makes every
+// record slab, free-list stripe, occupancy counter, and statistics word
+// private to a shard, so S threads touching different shards share no
+// synchronization state at all and the residual cache-line ping-pong of a
+// single table drops by roughly a factor of S.
 type Sharded struct {
 	h      hash.Func
 	shards []*Tagged

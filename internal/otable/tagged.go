@@ -2,7 +2,7 @@ package otable
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"tmbp/internal/addr"
 	"tmbp/internal/hash"
@@ -15,61 +15,183 @@ import (
 // majority of buckets hold 0 or 1 records at sane load factors, so the
 // expected cost over tagless is one tag compare.
 //
-// Concurrency is provided by striped locks over the buckets: the paper's
-// design point is storage organization, not lock-freedom, and striping keeps
-// the fast path to a single uncontended mutex.
+// Concurrency is lock-free, in the style of the tagless table's entries:
+// bucket heads and chain links are CAS-able words, and every
+// acquire/release/upgrade linearizes at one CAS on the target record's
+// packed state word. No operation takes a mutex, so an acquire of one block
+// never serializes behind an acquire of a different block that merely
+// shares a bucket or stripe — the property the paper's scaling argument
+// needs from the table.
+//
+// # Record lifecycle and invariants
+//
+// Records are slab-allocated and addressed by 32-bit indices; a link word
+// packs {mark, generation, index} and a record's state word packs
+// {mode, generation, payload}. The generation makes reuse ABA-proof: every
+// state CAS carries the generation under which the record was found, and
+// publishing a record bumps it, so a CAS left over from a previous
+// incarnation can never land on the next one.
+//
+// One record incarnation (generation g) moves through a small state
+// machine whose single linearization word is the state:
+//
+//	private            tag/state/next written while unreachable
+//	  └─ publish       head CAS installs link{g, idx}; state is Read or Write
+//	live               Read(n) ⇄ Read(n±1), Read(n)→Write (upgrade), and
+//	                   Write/Read(1)→Free (release) by state CAS
+//	free               still chained, claimable in place: the next acquire
+//	                   of the same tag CASes {Free,g,0} back to a live mode.
+//	                   This is what keeps the steady-state hot path at one
+//	                   CAS per acquire — the record for a recurring block is
+//	                   its own pool.
+//	  └─ condemn       a reaping walk CASes {Free,g,0}→{Dead,g,0}; Dead is
+//	                   terminal, so condemning and claiming arbitrate on the
+//	                   same word and a record being removed can never be
+//	                   revived
+//	  └─ mark          mark bit set on the record's own next link, freezing
+//	                   it: no unlink-CAS uses a marked expected value, so a
+//	                   marked record can never act as the predecessor of
+//	                   another unlink (the Harris rule that makes concurrent
+//	                   removal of adjacent records safe)
+//	  └─ unlink        exactly one CAS on the predecessor's link succeeds
+//	  └─ retire        the unlinking thread bumps the generation (stored
+//	                   to the state word before the next field becomes a
+//	                   pool link) and pushes the record onto its stripe's
+//	                   free list; stale walkers then fail generation
+//	                   validation instead of reading free-list structure
+//	                   as chain structure
+//
+// The invariants every path preserves:
+//
+//  1. A record's tag is written only while the record is private; walkers
+//     may therefore trust a tag after validating the state generation.
+//  2. All state CASes embed the generation; release and condemnation keep
+//     it, publishing and retirement bump it. Retirement stores the bump
+//     before overwriting the next field, and walkers read next before
+//     state, so a pool link can never pass for an incarnation link.
+//  3. A live or free incarnation's next link changes only by gaining the
+//     mark; unlinking edits the predecessor's link, never the record's own.
+//     (Exception: a nil next is permanent — inserts go to the head — so a
+//     tail record is unlinked without marking.)
+//  4. Only the condemner — the thread that won the condemning state CAS —
+//     sets the mark, only after the state is Dead, and reads the splice
+//     value from the next link only after the mark is set, so an unlink
+//     can never resurrect a concurrently removed successor. Helpers act
+//     only on marks they observe (next-then-state read order ties an
+//     observed mark to the dead incarnation); a helper that CASed marks in
+//     itself could freeze a recycled record's live link forever.
+//  5. Only the thread whose unlink CAS succeeded retires the record, so
+//     each incarnation is pooled exactly once.
+//  6. Insertion is a head CAS against the head observed at the start of a
+//     full, generation-validated walk that found no claimable or live
+//     record for the tag; any concurrent insert changes the head and
+//     forces a re-walk, so two chained records for one tag can never
+//     coexist (one dead, unlinking record plus one fresh record can).
+//  7. At most one location ever holds an unmarked link to a chained
+//     record: its true predecessor's link field (or the bucket head).
+//     Pool links are stored marked, and an inserting record's private
+//     next is stored marked too, unmarked only after the head CAS makes
+//     it the true predecessor of its successor. Without this, a stale
+//     helper parked on a recycled record's next field could land its
+//     splice CAS there while the true predecessor's splice also lands,
+//     retiring the successor twice. Corollary: a mark on a live record
+//     is a transient publish artifact — walkers decide deadness by the
+//     state word and treat such marks as traversal noise.
 type Tagged struct {
-	h       hash.Func
-	buckets []*record
+	h     hash.Func
+	heads []atomic.Uint64 // per-bucket chain head link {0, gen, idx}; 0 = empty
+	live  []atomic.Int32  // per-bucket count of held (Read/Write) records
+	// stripes hold the per-stripe free lists of retired records. Retiring
+	// and allocating through the stripe of the operated-on bucket keeps
+	// pool traffic spread out the same way striped locks would spread lock
+	// traffic — but the list itself is a gen-tagged Treiber stack, so the
+	// pool is as lock-free as the chains it feeds.
 	stripes []stripe
 	mask    uint64 // stripe index mask
-	occ     int64  // non-empty buckets; guarded by aggregate of stripes (updated under stripe lock, read racily via Occupied)
-	occMu   sync.Mutex
-	stats   counters
+
+	// Record slab: segments allocated on demand, never freed or moved, so
+	// an index dereference is always safe and the GC keeps every record
+	// reachable no matter what stale links still point at it.
+	segs    []atomic.Pointer[recSeg]
+	nextIdx atomic.Uint32 // bump allocator over the slab; index 0 = nil
+
+	occ   atomic.Int64 // buckets with ≥1 held record
+	stats counters
 }
+
+// Slab geometry: segments of 1024 records, at most 1024 segments. The cap
+// bounds chained+pooled records at ~1M per table — free records linger at
+// up to reapDepth per bucket plus live footprints, so even a 64Ki-bucket
+// table stays far below it — while an unused table carries only the 8 KiB
+// segment directory.
+const (
+	segShift   = 10
+	segSize    = 1 << segShift
+	segMask    = segSize - 1
+	maxSegs    = 1024
+	maxRecords = maxSegs * segSize
+)
+
+// reapDepth is the chain depth (in records traversed, any state) past
+// which a walk condemns and removes the free records it passes. Claimable
+// records shallower than this are left in place — they are the reuse fast
+// path for recurring tags — so steady working sets never pay removal, while
+// workloads that stream unique tags through a bucket keep its chain
+// bounded near reapDepth.
+const reapDepth = 3
+
+// recSeg is one slab segment.
+type recSeg [segSize]record
 
 // record is one ownership record: the tagged equivalent of a tagless entry,
-// plus the tag and chain pointer.
+// plus the tag and chain link. Every field is atomic because stale link
+// holders may read a recycled record's fields before generation validation
+// rejects them. Padded to a cache line so neighboring records never
+// false-share.
 type record struct {
-	tag     addr.Block
-	mode    Mode
-	owner   TxID   // valid when mode == Write
-	sharers uint32 // valid when mode == Read
-	next    *record
+	state atomic.Uint64 // {mode, gen, payload}; the linearization word
+	next  atomic.Uint64 // chain link to successor, or marked free-list link while pooled
+	tag   atomic.Uint64 // block tag; written only while private (invariant 1)
+	_     [40]byte
 }
 
-// stripe is one bucket lock plus its private pool of retired records.
-// Records are only ever inserted and removed under the stripe lock of their
-// bucket, so pooling per stripe makes the acquire path allocation-free in
-// steady state without any extra synchronization: a released record goes
-// onto the free list of the stripe it lived in and is handed back by the
-// next insert through that stripe. The pool is unbounded but its size is
-// capped by the historical maximum of concurrently live records per stripe
-// — transaction footprints, in practice. The padding keeps each stripe on
-// its own cache line so neighboring stripe locks don't false-share.
+// stripe is one free list of retired records, padded to its own cache line.
 type stripe struct {
-	mu   sync.Mutex
-	free *record
-	_    [64 - 16]byte
+	free atomic.Uint64 // marked {gen, idx} link of the top pooled record; idx 0 = empty
+	_    [56]byte
 }
 
-// get returns a pooled record or allocates one. Caller holds st.mu.
-func (st *stripe) get() *record {
-	if r := st.free; r != nil {
-		st.free = r.next
-		return r
-	}
-	return new(record)
+// deadMode is the fourth, terminal state-word mode: condemned for removal.
+// It exists so that condemnation and claiming contend on the same CAS.
+// Records never expose it through the Table API.
+const deadMode Mode = 3
+
+// State word layout: bits 62..63 mode | bits 32..61 generation | bits 0..31
+// payload (owner TxID when Write, sharer count when Read) — the tagless
+// entry layout (payloadMask, tagless.go) with the generation in the middle
+// bits. Link word layout: bit 63 mark | bits 32..61 generation | bits 0..31
+// slab index.
+const (
+	recModeShift = 62
+	recGenShift  = 32
+	recGenMask   = 1<<30 - 1
+	linkMark     = uint64(1) << 63
+)
+
+func packRec(m Mode, gen uint64, payload uint32) uint64 {
+	return uint64(m)<<recModeShift | gen<<recGenShift | uint64(payload)
 }
 
-// put retires a record to the pool. Caller holds st.mu.
-func (st *stripe) put(r *record) {
-	*r = record{next: st.free}
-	st.free = r
-}
+func recMode(w uint64) Mode      { return Mode(w >> recModeShift) }
+func recGen(w uint64) uint64     { return (w >> recGenShift) & recGenMask }
+func recPayload(w uint64) uint32 { return uint32(w & payloadMask) }
 
-// defaultStripes is the number of bucket locks. 256 keeps contention
-// negligible for the thread counts in the paper (≤ 8) while bounding memory.
+func mkLink(gen uint64, idx uint32) uint64 { return gen<<recGenShift | uint64(idx) }
+func linkGen(w uint64) uint64              { return (w >> recGenShift) & recGenMask }
+func linkIdx(w uint64) uint32              { return uint32(w & payloadMask) }
+
+// defaultStripes is the number of free-list stripes. 256 keeps pool
+// contention negligible for sane thread counts while bounding memory.
 const defaultStripes = 256
 
 // NewTagged builds a tagged chaining table sized and indexed by h.
@@ -79,12 +201,16 @@ func NewTagged(h hash.Func) *Tagged {
 	if n < stripes {
 		stripes = n
 	}
-	return &Tagged{
+	t := &Tagged{
 		h:       h,
-		buckets: make([]*record, n),
+		heads:   make([]atomic.Uint64, n),
+		live:    make([]atomic.Int32, n),
 		stripes: make([]stripe, stripes),
 		mask:    stripes - 1,
+		segs:    make([]atomic.Pointer[recSeg], maxSegs),
 	}
+	t.nextIdx.Store(1) // slab index 0 is the nil link
+	return t
 }
 
 // Kind implements Table.
@@ -103,70 +229,249 @@ func (t *Tagged) SlotOf(b addr.Block) uint64 { return uint64(b) }
 // SlotsAreBlocks implements BlockSlotted: SlotOf is the identity.
 func (t *Tagged) SlotsAreBlocks() bool { return true }
 
-// lockFor locks the stripe covering bucket idx and returns it.
-func (t *Tagged) lockFor(idx uint64) *stripe {
-	st := &t.stripes[idx&t.mask]
-	st.mu.Lock()
-	return st
+// rec dereferences a slab index. Indices come from links whose segment was
+// published (with its records) before the link could exist, so the loads
+// cannot observe a nil segment.
+func (t *Tagged) rec(idx uint32) *record {
+	return &t.segs[idx>>segShift].Load()[idx&segMask]
 }
 
-// find walks the bucket chain for tag b, counting traversals, and returns
-// the record and its chain depth (0 = bucket head), or nil.
-func (t *Tagged) find(idx uint64, b addr.Block) *record {
-	depth := uint64(0)
-	for r := t.buckets[idx]; r != nil; r = r.next {
-		if r.tag == b {
-			if depth > 0 {
-				t.stats.chainFollows.Add(depth)
-			}
-			return r
+// stripeFor returns the free-list stripe covering bucket idx.
+func (t *Tagged) stripeFor(idx uint64) *stripe { return &t.stripes[idx&t.mask] }
+
+// alloc pops a pooled record from st or carves a fresh one from the slab.
+// The returned record is private to the caller. Pool pops are ABA-proof
+// without validation: free-list values carry the generation the record was
+// retired under, and every publish bumps it, so a popped value can never
+// recur at the top of the list.
+func (t *Tagged) alloc(st *stripe) (uint32, *record) {
+	for {
+		top := st.free.Load()
+		if linkIdx(top) == 0 {
+			return t.allocSlab()
 		}
-		depth++
+		r := t.rec(linkIdx(top))
+		next := r.next.Load()
+		if st.free.CompareAndSwap(top, next) {
+			return linkIdx(top), r
+		}
 	}
-	if depth > 1 {
-		t.stats.chainFollows.Add(depth - 1)
-	}
-	return nil
 }
 
-// insert prepends a record to bucket idx and maintains occupancy and chain
-// statistics. Caller holds the stripe lock.
-func (t *Tagged) insert(idx uint64, r *record) {
-	if t.buckets[idx] == nil {
-		t.occMu.Lock()
-		t.occ++
-		t.occMu.Unlock()
+// allocSlab bump-allocates a never-pooled record, publishing its segment if
+// the caller is first to need it. Records recycled across Reset keep their
+// old generation, which alloc's callers read back from the state word — the
+// generation only ever needs to be monotonic per slab slot, not zero-based.
+func (t *Tagged) allocSlab() (uint32, *record) {
+	idx := t.nextIdx.Add(1) - 1
+	if idx >= maxRecords {
+		panic(fmt.Sprintf("otable: tagged record slab exhausted (%d chained+pooled records)", maxRecords))
 	}
-	r.next = t.buckets[idx]
-	t.buckets[idx] = r
-	t.stats.records.Add(1)
-	n := uint64(0)
-	for c := t.buckets[idx]; c != nil; c = c.next {
-		n++
+	seg := idx >> segShift
+	if t.segs[seg].Load() == nil {
+		t.segs[seg].CompareAndSwap(nil, new(recSeg)) // loser's segment is dropped
 	}
-	t.stats.observeChain(n)
+	return idx, &t.segs[seg].Load()[idx&segMask]
 }
 
-// remove unlinks the record with tag b from bucket idx and retires it to
-// st's pool. Caller holds the stripe lock. It panics if the record is
-// absent (caller bookkeeping bug).
-func (t *Tagged) remove(st *stripe, idx uint64, b addr.Block) {
-	p := &t.buckets[idx]
-	for *p != nil {
-		if r := *p; r.tag == b {
-			*p = r.next
-			st.put(r)
-			t.stats.records.Add(^uint64(0)) // -1
-			if t.buckets[idx] == nil {
-				t.occMu.Lock()
-				t.occ--
-				t.occMu.Unlock()
-			}
+// retire pushes an unlinked (or never-published) record onto st's pool.
+// The generation bump is stored FIRST, before the next field is turned
+// into a pool link: walkers read a record's next before its state, so any
+// walker that observes the pool link afterwards necessarily observes the
+// bumped generation too and restarts instead of treating free-list
+// structure as chain structure (invariant 2). Pool links also carry the
+// mark bit, so the rare walker that caught the old state with the new
+// next sees a frozen link whose splice CAS cannot land anywhere.
+func (t *Tagged) retire(st *stripe, idx uint32, r *record) {
+	g := (recGen(r.state.Load()) + 1) & recGenMask
+	r.state.Store(packRec(Free, g, 0))
+	for {
+		top := st.free.Load()
+		r.next.Store(top)
+		if st.free.CompareAndSwap(top, mkLink(g, idx)|linkMark) {
 			return
 		}
-		p = &(*p).next
 	}
-	panic(fmt.Sprintf("otable: tagged remove of absent record for block %v", b))
+}
+
+// unlink removes a condemned (Dead) record from its bucket chain: it
+// freezes the outgoing link with the mark bit (skipped when the link is
+// nil, which is permanent — invariant 3), splices through prev, and retires
+// the record if its CAS was the one that won (invariant 5). It returns the
+// clean successor link and whether this caller did the splice.
+func (t *Tagged) unlink(idx uint64, r *record, rlink uint64, prev *atomic.Uint64) (uint64, bool) {
+	if r.next.Load() == 0 {
+		if prev.CompareAndSwap(rlink, 0) {
+			t.retire(t.stripeFor(idx), linkIdx(rlink), r)
+			return 0, true
+		}
+	}
+	var next uint64
+	for {
+		next = r.next.Load()
+		if next&linkMark != 0 {
+			next &^= linkMark
+			break
+		}
+		if r.next.CompareAndSwap(next, next|linkMark) {
+			break
+		}
+	}
+	if prev.CompareAndSwap(rlink, next) {
+		t.retire(t.stripeFor(idx), linkIdx(rlink), r)
+		return next, true
+	}
+	return next, false
+}
+
+// walk traverses bucket idx looking for the record tagged b — live or
+// claimable. It returns the record, the state word it was matched under,
+// and the link it was found under. On a miss it reports the head value its
+// successful full scan started from, which is what makes insertion sound
+// (invariant 6): inserts CAS the head against exactly that value, so any
+// record for b published since the scan forces a re-walk.
+//
+// Per node the read order is tag, next, state; the state load doubles as
+// the generation validation for all three (the tag is immutable while
+// reachable, and the next link can only have gained a mark, by invariants
+// 1 and 3). Any mismatch restarts from the head. Marked or condemned
+// records are helped out of the chain; free records deeper than reapDepth
+// are condemned and removed, bounding chains under tag-streaming workloads.
+func (t *Tagged) walk(idx uint64, b addr.Block) (r *record, rst uint64, rlink uint64, headSeen uint64, depth uint64, found bool) {
+restart:
+	head := t.heads[idx].Load()
+	prevField := &t.heads[idx]
+	cur := head
+	depth = 0         // held records passed, for the chain-length statistics
+	phys := uint64(0) // records passed in any state: traversal cost and reaping
+	for linkIdx(cur) != 0 {
+		rec := t.rec(linkIdx(cur))
+		tag := rec.tag.Load()
+		next := rec.next.Load()
+		st := rec.state.Load()
+		if recGen(st) != linkGen(cur) {
+			goto restart // recycled under us: nothing read is trustworthy
+		}
+		mode := recMode(st)
+		if mode == deadMode && next&linkMark != 0 {
+			// Condemned and frozen: finish the removal. Only the condemner
+			// marks (invariant 4) — a helper CASing the mark in could land
+			// it on a recycled record whose next value happens to recur,
+			// freezing a live link forever — so helpers act only on marks
+			// they observe, which the next-then-state read order ties to
+			// this dead incarnation.
+			clean := next &^ linkMark
+			if !prevField.CompareAndSwap(cur, clean) {
+				goto restart
+			}
+			t.retire(t.stripeFor(idx), linkIdx(cur), rec)
+			cur = clean
+			continue
+		}
+		next &^= linkMark // strip a publish-window mark (invariant 7)
+		if mode == deadMode {
+			// Condemned but not yet frozen: the condemner is between its
+			// state CAS and its mark. The record is logically absent and
+			// its next is still a true incarnation link, so just walk
+			// past; the condemner (or a later walk) finishes the removal.
+			phys++
+			prevField = &rec.next
+			cur = next
+			continue
+		}
+		if mode == Free {
+			if tag == uint64(b) {
+				if phys > 0 {
+					t.stats.chainFollows.Add(phys)
+				}
+				return rec, st, cur, head, depth, true
+			}
+			if phys >= reapDepth {
+				// Deep free record: condemn it (arbitrating against a
+				// concurrent claim on the state word) and splice it out
+				// with the predecessor we already hold.
+				if !rec.state.CompareAndSwap(st, packRec(deadMode, linkGen(cur), 0)) {
+					goto restart
+				}
+				if clean, ok := t.unlink(idx, rec, cur, prevField); ok {
+					cur = clean
+					continue
+				}
+				goto restart
+			}
+		} else {
+			if tag == uint64(b) {
+				if phys > 0 {
+					t.stats.chainFollows.Add(phys)
+				}
+				return rec, st, cur, head, depth, true
+			}
+			depth++
+		}
+		phys++
+		prevField = &rec.next
+		cur = next
+	}
+	if phys > 1 {
+		t.stats.chainFollows.Add(phys - 1)
+	}
+	return nil, 0, 0, head, depth, false
+}
+
+// insertAt publishes a fresh record for b at the head of bucket idx with
+// the given initial mode and payload. headSeen must be the head value a
+// full walk that found no record for b started from; the head CAS against
+// it is what keeps records unique per tag (invariant 6). It reports whether
+// the publish won; on false the caller must re-walk.
+func (t *Tagged) insertAt(idx uint64, b addr.Block, m Mode, payload uint32, headSeen uint64, liveLen uint64) bool {
+	st := t.stripeFor(idx)
+	ridx, r := t.alloc(st)
+	// Publishing bumps the generation (invariant 2): the state store below
+	// is what invalidates any link or pending state CAS left over from the
+	// record's previous incarnation.
+	g := (recGen(r.state.Load()) + 1) & recGenMask
+	if r.tag.Load() != uint64(b) {
+		r.tag.Store(uint64(b))
+	}
+	r.state.Store(packRec(m, g, payload))
+	// The private next is stored marked (invariant 7): until the head CAS
+	// publishes this record, no location outside the chain may expose an
+	// unmarked link to a chained record — otherwise a stale helper that
+	// stalled holding this (recycled) record's next field as its unlink
+	// predecessor could land its splice CAS here while the true
+	// predecessor's splice also succeeds, retiring the successor twice.
+	r.next.Store(headSeen | linkMark)
+	if !t.heads[idx].CompareAndSwap(headSeen, mkLink(g, ridx)) {
+		// Never published — but the generation was consumed by the state
+		// store, so repool under it; the next cycle bumps it again.
+		t.retire(st, ridx, r)
+		return false
+	}
+	// Published: this record is now the true predecessor of headSeen's
+	// chain, so clear the publish mark and let it serve unlink CASes.
+	// Release of the just-granted permission — the only path that could
+	// condemn this record — cannot run before this store: the grant has
+	// not yet been returned to the caller.
+	r.next.Store(headSeen)
+	if t.live[idx].Add(1) == 1 {
+		t.occ.Add(1)
+	}
+	t.stats.observeChain(liveLen + 1)
+	return true
+}
+
+// grant updates the occupancy accounting after a Free→held claim.
+func (t *Tagged) grant(idx uint64) {
+	if t.live[idx].Add(1) == 1 {
+		t.occ.Add(1)
+	}
+}
+
+// ungrant updates the occupancy accounting after a held→Free release.
+func (t *Tagged) ungrant(idx uint64) {
+	if t.live[idx].Add(-1) == 0 {
+		t.occ.Add(-1)
+	}
 }
 
 // AcquireRead implements Table.
@@ -175,28 +480,45 @@ func (t *Tagged) AcquireRead(tx TxID, b addr.Block) Outcome {
 }
 
 // acquireReadAt is AcquireRead with the bucket index precomputed; the
-// sharded table routes here after hashing once at the shard selector.
+// sharded table routes here after hashing once at the shard selector. The
+// outcome linearizes at a single CAS: the head CAS for a fresh record, or
+// the state CAS/load of the record for the tag.
 func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) Outcome {
-	st := t.lockFor(idx)
-	defer st.mu.Unlock()
-	r := t.find(idx, b)
-	switch {
-	case r == nil:
-		nr := st.get()
-		nr.tag, nr.mode, nr.sharers = b, Read, 1
-		t.insert(idx, nr)
-		t.stats.readAcquires.Add(1)
-		return Granted
-	case r.mode == Read:
-		r.sharers++
-		t.stats.readAcquires.Add(1)
-		return Granted
-	case r.owner == tx:
-		t.stats.readAcquires.Add(1)
-		return AlreadyHeld
-	default:
-		t.stats.conflicts.Add(1)
-		return ConflictWriter
+	for {
+		r, st, rlink, headSeen, depth, found := t.walk(idx, b)
+		if !found {
+			if t.insertAt(idx, b, Read, 1, headSeen, depth) {
+				t.stats.readAcquires.Add(1)
+				return Granted
+			}
+			continue
+		}
+		g := linkGen(rlink)
+		for {
+			switch recMode(st) {
+			case Free: // claim the parked record in place
+				if r.state.CompareAndSwap(st, packRec(Read, g, 1)) {
+					t.grant(idx)
+					t.stats.readAcquires.Add(1)
+					return Granted
+				}
+			case Read:
+				if r.state.CompareAndSwap(st, packRec(Read, g, recPayload(st)+1)) {
+					t.stats.readAcquires.Add(1)
+					return Granted
+				}
+			case Write:
+				if TxID(recPayload(st)) == tx {
+					t.stats.readAcquires.Add(1)
+					return AlreadyHeld
+				}
+				t.stats.conflicts.Add(1)
+				return ConflictWriter
+			}
+			if st = r.state.Load(); recGen(st) != g || recMode(st) == deadMode {
+				break // condemned or recycled under us: re-walk
+			}
+		}
 	}
 }
 
@@ -207,39 +529,58 @@ func (t *Tagged) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
 	return t.acquireWriteAt(t.h.Index(b), tx, b, heldReads)
 }
 
-// acquireWriteAt is AcquireWrite with the bucket index precomputed.
+// acquireWriteAt is AcquireWrite with the bucket index precomputed. The
+// read→write upgrade is one CAS from {Read, g, heldReads} to {Write, g,
+// tx}: it can only succeed while the caller's shares are the record's whole
+// sharer count, so a racing foreign reader either beats the CAS (and the
+// retry observes ConflictReaders) or arrives after exclusivity is sealed.
 func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uint32) Outcome {
-	st := t.lockFor(idx)
-	defer st.mu.Unlock()
-	r := t.find(idx, b)
-	switch {
-	case r == nil:
-		nr := st.get()
-		nr.tag, nr.mode, nr.owner = b, Write, tx
-		t.insert(idx, nr)
-		t.stats.writeAcquires.Add(1)
-		return Granted
-	case r.mode == Read:
-		if heldReads > r.sharers {
-			panic(fmt.Sprintf("otable: tagged record has %d sharers but tx %d claims %d held reads",
-				r.sharers, tx, heldReads))
+	for {
+		r, st, rlink, headSeen, depth, found := t.walk(idx, b)
+		if !found {
+			if t.insertAt(idx, b, Write, uint32(tx), headSeen, depth) {
+				t.stats.writeAcquires.Add(1)
+				return Granted
+			}
+			continue
 		}
-		if heldReads == r.sharers {
-			r.mode = Write
-			r.owner = tx
-			r.sharers = 0
-			t.stats.writeAcquires.Add(1)
-			t.stats.upgrades.Add(1)
-			return Upgraded
+		g := linkGen(rlink)
+		for {
+			switch recMode(st) {
+			case Free: // claim the parked record in place
+				if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
+					t.grant(idx)
+					t.stats.writeAcquires.Add(1)
+					return Granted
+				}
+			case Read:
+				payload := recPayload(st)
+				if heldReads > payload {
+					panic(fmt.Sprintf("otable: tagged record has %d sharers but tx %d claims %d held reads",
+						payload, tx, heldReads))
+				}
+				if heldReads == payload {
+					if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
+						t.stats.writeAcquires.Add(1)
+						t.stats.upgrades.Add(1)
+						return Upgraded
+					}
+				} else {
+					t.stats.conflicts.Add(1)
+					return ConflictReaders
+				}
+			case Write:
+				if TxID(recPayload(st)) == tx {
+					t.stats.writeAcquires.Add(1)
+					return AlreadyHeld
+				}
+				t.stats.conflicts.Add(1)
+				return ConflictWriter
+			}
+			if st = r.state.Load(); recGen(st) != g || recMode(st) == deadMode {
+				break // condemned or recycled under us: re-walk
+			}
 		}
-		t.stats.conflicts.Add(1)
-		return ConflictReaders
-	case r.owner == tx:
-		t.stats.writeAcquires.Add(1)
-		return AlreadyHeld
-	default:
-		t.stats.conflicts.Add(1)
-		return ConflictWriter
 	}
 }
 
@@ -248,19 +589,35 @@ func (t *Tagged) ReleaseRead(tx TxID, b addr.Block) {
 	t.releaseReadAt(t.h.Index(b), tx, b)
 }
 
-// releaseReadAt is ReleaseRead with the bucket index precomputed.
+// releaseReadAt is ReleaseRead with the bucket index precomputed. The
+// release linearizes at the state CAS; dropping the last share parks the
+// record as Free in place — no physical removal, so the common
+// release-then-reacquire cycle costs one CAS on each side. A holder's
+// record cannot die or be recycled under it — its own shares pin the sharer
+// count above zero — so the panic on a missing or non-read record is a
+// caller bookkeeping bug, exactly as under a mutex-guarded table.
 func (t *Tagged) releaseReadAt(idx uint64, tx TxID, b addr.Block) {
-	st := t.lockFor(idx)
-	defer st.mu.Unlock()
-	r := t.find(idx, b)
-	if r == nil || r.mode != Read || r.sharers == 0 {
+	r, st, rlink, _, _, found := t.walk(idx, b)
+	if !found {
 		panic(fmt.Sprintf("otable: ReleaseRead by tx %d on block %v with no read record", tx, b))
 	}
-	r.sharers--
-	if r.sharers == 0 {
-		t.remove(st, idx, b)
+	g := linkGen(rlink)
+	for {
+		if recMode(st) != Read || recPayload(st) == 0 {
+			panic(fmt.Sprintf("otable: ReleaseRead by tx %d on block %v with no read record", tx, b))
+		}
+		if n := recPayload(st); n > 1 {
+			if r.state.CompareAndSwap(st, packRec(Read, g, n-1)) {
+				t.stats.releases.Add(1)
+				return
+			}
+		} else if r.state.CompareAndSwap(st, packRec(Free, g, 0)) {
+			t.ungrant(idx)
+			t.stats.releases.Add(1)
+			return
+		}
+		st = r.state.Load()
 	}
-	t.stats.releases.Add(1)
 }
 
 // ReleaseWrite implements Table.
@@ -268,42 +625,68 @@ func (t *Tagged) ReleaseWrite(tx TxID, b addr.Block) {
 	t.releaseWriteAt(t.h.Index(b), tx, b)
 }
 
-// releaseWriteAt is ReleaseWrite with the bucket index precomputed.
+// releaseWriteAt is ReleaseWrite with the bucket index precomputed. See
+// releaseReadAt for the linearization; a write record has exactly one
+// legitimate releaser, so the CAS to Free can only be contended by bugs.
 func (t *Tagged) releaseWriteAt(idx uint64, tx TxID, b addr.Block) {
-	st := t.lockFor(idx)
-	defer st.mu.Unlock()
-	r := t.find(idx, b)
-	if r == nil || r.mode != Write || r.owner != tx {
+	r, st, rlink, _, _, found := t.walk(idx, b)
+	if !found {
 		panic(fmt.Sprintf("otable: ReleaseWrite by tx %d on block %v it does not own", tx, b))
 	}
-	t.remove(st, idx, b)
+	if recMode(st) != Write || TxID(recPayload(st)) != tx {
+		panic(fmt.Sprintf("otable: ReleaseWrite by tx %d on block %v it does not own", tx, b))
+	}
+	if !r.state.CompareAndSwap(st, packRec(Free, linkGen(rlink), 0)) {
+		panic(fmt.Sprintf("otable: ReleaseWrite by tx %d on block %v it does not own", tx, b))
+	}
+	t.ungrant(idx)
 	t.stats.releases.Add(1)
 }
 
-// Occupied implements Table: the number of non-empty buckets.
+// Occupied implements Table: the number of buckets holding at least one
+// held record. The count is maintained on the grant/release transitions,
+// so concurrent readers see a momentarily lagging value — exact whenever
+// the table is quiescent.
 func (t *Tagged) Occupied() uint64 {
-	t.occMu.Lock()
-	defer t.occMu.Unlock()
-	if t.occ < 0 {
+	v := t.occ.Load()
+	if v < 0 {
 		return 0
 	}
-	return uint64(t.occ)
+	return uint64(v)
 }
 
-// Records returns the number of live ownership records (≥ Occupied when
-// chains exist).
-func (t *Tagged) Records() uint64 { return t.stats.records.Load() }
+// Records returns the number of held ownership records (≥ Occupied when
+// chains exist), summed from the per-bucket counters; free parked records
+// are not counted. Concurrent mutations make the sum approximate — exact
+// whenever the table is quiescent.
+func (t *Tagged) Records() uint64 {
+	var n int64
+	for i := range t.live {
+		n += int64(t.live[i].Load())
+	}
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
+}
 
-// ChainLengths returns a histogram of bucket chain lengths: result[k] is the
-// number of buckets with exactly k records, for k up to the longest chain.
-// Not safe to call concurrently with mutations.
+// ChainLengths returns a histogram of bucket chain lengths: result[k] is
+// the number of buckets with exactly k held records (free parked records
+// are not counted), for k up to the longest chain. Not safe to call
+// concurrently with mutations.
 func (t *Tagged) ChainLengths() []uint64 {
 	var maxLen int
 	lengths := make(map[int]uint64)
-	for i := range t.buckets {
+	for i := range t.heads {
 		n := 0
-		for r := t.buckets[i]; r != nil; r = r.next {
-			n++
+		for cur := t.heads[i].Load(); linkIdx(cur) != 0; {
+			r := t.rec(linkIdx(cur))
+			if st := r.state.Load(); recGen(st) == linkGen(cur) {
+				if m := recMode(st); m == Read || m == Write {
+					n++
+				}
+			}
+			cur = r.next.Load() &^ linkMark
 		}
 		lengths[n]++
 		if n > maxLen {
@@ -317,21 +700,29 @@ func (t *Tagged) ChainLengths() []uint64 {
 	return out
 }
 
-// Stats implements Table.
-func (t *Tagged) Stats() Stats { return t.stats.snapshot() }
+// Stats implements Table. Records is derived from the per-bucket held
+// counters rather than a hot-path counter.
+func (t *Tagged) Stats() Stats {
+	s := t.stats.snapshot()
+	s.Records = t.Records()
+	return s
+}
 
-// Reset implements Table. Pooled records are dropped along with the live
-// ones, returning the table to its freshly-built memory footprint.
+// Reset implements Table. Chains and pools are dropped and the slab bump
+// allocator rewinds; slab segments are kept for reuse, and recycled slots
+// keep their generations (monotonicity per slot is all correctness needs).
 func (t *Tagged) Reset() {
-	for i := range t.buckets {
-		t.buckets[i] = nil
+	for i := range t.heads {
+		t.heads[i].Store(0)
+	}
+	for i := range t.live {
+		t.live[i].Store(0)
 	}
 	for i := range t.stripes {
-		t.stripes[i].free = nil
+		t.stripes[i].free.Store(0)
 	}
-	t.occMu.Lock()
-	t.occ = 0
-	t.occMu.Unlock()
+	t.nextIdx.Store(1)
+	t.occ.Store(0)
 	t.stats.reset()
 }
 

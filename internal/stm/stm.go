@@ -30,8 +30,22 @@
 // footprints spill to a growable probe table whose capacity is retained
 // across attempts and transactions, and retirement is a generation-counter
 // bump rather than per-entry deletes. Together with a reused Tx handle and
-// pooled ownership records in the tagged table, a steady-state transaction
+// the tagged table's in-place record reuse, a steady-state transaction
 // performs zero heap allocations end to end.
+//
+// # Lock-free tables and release ordering
+//
+// Every ownership-table organization is lock-free: acquires and releases
+// linearize at single CAS operations (see package otable). The STM relies
+// on exactly one ordering property from that contract: a transaction that
+// wins a slot after another transaction's release observes every memory
+// write the releaser performed before calling Release. Commit therefore
+// writes back the redo log strictly before releasing any slot, and both
+// phases walk the access set in first-access order; abort releases the
+// same way with no write-back. Nothing else about commit/abort
+// synchronizes with concurrent acquirers — there is no table-wide quiesce
+// to wait on, which is what lets unrelated transactions commit through
+// the same buckets completely in parallel.
 package stm
 
 import (

@@ -6,13 +6,13 @@
 //
 // The package is a facade over the implementation packages under internal/:
 //
-//   - ownership tables and the address hash family. Three organizations are
-//     provided: "tagless" (Section 2.1: one packed atomic word per entry,
-//     subject to the false conflicts the paper quantifies), "tagged"
-//     (Section 5: chaining records that carry the address tag, immune to
-//     false conflicts), and "sharded" (beyond the paper: power-of-two
-//     independently synchronized tagged sub-tables selected by the high
-//     hash bits, for multi-core scalability);
+//   - ownership tables and the address hash family. Three lock-free
+//     organizations are provided: "tagless" (Section 2.1: one packed atomic
+//     word per entry, subject to the false conflicts the paper quantifies),
+//     "tagged" (Section 5: CAS-managed chains of records that carry the
+//     address tag, immune to false conflicts), and "sharded" (beyond the
+//     paper: power-of-two independent tagged sub-tables selected by the
+//     high hash bits, for multi-core isolation);
 //   - a complete STM runtime (begin/read/write/commit/abort, redo logging,
 //     contention management, weak/strong isolation) whose per-thread
 //     bookkeeping is a single open-addressed access set — one probe per
