@@ -37,7 +37,17 @@ func runBench(fs *flag.FlagSet, args []string) error {
 
 	var results []benchResult
 	for _, kind := range otable.Kinds() {
-		r, err := benchSerial(kind, *entries, *hashName, *serialOps, *seed)
+		r, err := benchSerial("serial", kind, "backoff", *entries, *hashName, *serialOps, *seed)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	// Per-policy serial rows: a serial run never aborts, so these measure
+	// the CM plumbing's cost on the conflict-free hot path — the bench-diff
+	// gate then catches any policy whose mere presence slows commits.
+	for _, policy := range stm.CMKinds() {
+		r, err := benchSerial("serial-cm-"+policy, "tagged", policy, *entries, *hashName, *serialOps, *seed)
 		if err != nil {
 			return err
 		}
@@ -72,6 +82,7 @@ func runBench(fs *flag.FlagSet, args []string) error {
 			report.Pct(r.AbortRate))
 	}
 	t.Note("serial: one thread, %d 8-access read-modify-write txns; contended: GOMAXPROCS threads x %d single-word read-modify-write txns on a 256-entry table", *serialOps, *contOps)
+	t.Note("serial-cm-*: the serial workload on the tagged table under each contention-management policy (no aborts occur; this prices the policy plumbing on the hot path)")
 	t.Note("allocs/op and B/op are process-wide malloc deltas per transaction; steady state must be 0")
 	return t.Render(os.Stdout)
 }
@@ -98,7 +109,7 @@ type benchResult struct {
 }
 
 // newBenchRuntime assembles a runtime for the bench workloads.
-func newBenchRuntime(kind, hashName string, entries uint64, words int, seed uint64) (*stm.Runtime, error) {
+func newBenchRuntime(kind, hashName, cm string, entries uint64, words int, seed uint64) (*stm.Runtime, error) {
 	h, err := hash.New(hashName, entries)
 	if err != nil {
 		return nil, err
@@ -107,16 +118,16 @@ func newBenchRuntime(kind, hashName string, entries uint64, words int, seed uint
 	if err != nil {
 		return nil, err
 	}
-	return stm.New(stm.Config{Table: tab, Memory: stm.NewMemory(words), Seed: seed})
+	return stm.New(stm.Config{Table: tab, Memory: stm.NewMemory(words), Seed: seed, CM: cm})
 }
 
 // benchSerial measures single-thread transaction latency: the 8-word
 // read-modify-write transaction of the package benchmarks. Allocation is
 // measured as the process-wide malloc delta across the timed region — with
 // a single goroutine this is exact, and in steady state it must be zero.
-func benchSerial(kind string, entries uint64, hashName string, ops int, seed uint64) (benchResult, error) {
+func benchSerial(workload, kind, cm string, entries uint64, hashName string, ops int, seed uint64) (benchResult, error) {
 	const words = 1 << 12
-	rt, err := newBenchRuntime(kind, hashName, entries, words, seed)
+	rt, err := newBenchRuntime(kind, hashName, cm, entries, words, seed)
 	if err != nil {
 		return benchResult{}, err
 	}
@@ -152,7 +163,7 @@ func benchSerial(kind string, entries uint64, hashName string, ops int, seed uin
 	commits := st.Commits - warm.Commits
 	aborts := st.Aborts - warm.Aborts
 	res := benchResult{
-		Workload:    "serial",
+		Workload:    workload,
 		Kind:        kind,
 		Ops:         ops,
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
@@ -179,7 +190,7 @@ func benchContended(kind, hashName string, opsPerG int, seed uint64) (benchResul
 		entries = 256
 		words   = 1 << 12
 	)
-	rt, err := newBenchRuntime(kind, hashName, entries, words, seed)
+	rt, err := newBenchRuntime(kind, hashName, "backoff", entries, words, seed)
 	if err != nil {
 		return benchResult{}, err
 	}

@@ -17,14 +17,15 @@
 //	tagged  tagged-table characterization (Section 5)
 //	ablation victim-buffer depth sweep, hash ablation, hash diagnostics
 //	isolation strong-isolation conflict study (Section 6)
-//	scale   STM throughput scaling: goroutines x {tagless, tagged, sharded}
+//	scale   STM throughput scaling: goroutines x {tagless, tagged, sharded},
+//	        plus a contended goroutines x CM-policy comparison
 //	stm     end-to-end STM run: tagless vs tagged abort rates
 //	bench   STM latency/allocation/abort-rate suite (-json for tooling)
 //	model   evaluate the conflict model at one configuration
 //	all     every figure above, in paper order (scale, stm, and model are
 //	        separate live-runtime/point commands and are not included)
 //
-// Common flags: -seed, -quick, -csv, -samples, -trials, -traces, -hash.
+// Common flags: -seed, -quick, -csv, -samples, -trials, -traces, -hash, -cm.
 package main
 
 import (
@@ -79,6 +80,7 @@ func commonFlags(fs *flag.FlagSet) func() figures.Options {
 	alphaF := fs.Int("alpha", 2, "reads per write in synthetic transactions")
 	hashName := fs.String("hash", "mask", "address hash: mask | fibonacci | mix")
 	kind := fs.String("kind", "tagless", "ownership table under test: tagless | tagged | sharded")
+	cm := fs.String("cm", "backoff", "STM contention-management policy: backoff | adaptive | karma")
 	scaleTxns := fs.Int("scale-txns", 0, "override scaling-experiment transactions per goroutine")
 	return func() figures.Options {
 		o := figures.Paper(*seed)
@@ -100,6 +102,7 @@ func commonFlags(fs *flag.FlagSet) func() figures.Options {
 		o.Alpha = *alphaF
 		o.Hash = *hashName
 		o.Kind = *kind
+		o.CM = *cm
 		if *scaleTxns > 0 {
 			o.ScaleTxns = *scaleTxns
 		}

@@ -113,7 +113,7 @@ func TestRunBenchSubcommandJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("bench -json emitted invalid JSON: %v\n%s", err, out)
 	}
-	if rep.Schema != 1 || len(rep.Results) != 6 {
+	if rep.Schema != 1 || len(rep.Results) != 9 {
 		t.Fatalf("bench report shape: schema=%d results=%d", rep.Schema, len(rep.Results))
 	}
 	kinds := map[string]bool{}
@@ -123,7 +123,10 @@ func TestRunBenchSubcommandJSON(t *testing.T) {
 			t.Errorf("%s/%s: ns_per_op=%v commits=%d", r.Workload, r.Kind, r.NsPerOp, r.Commits)
 		}
 	}
-	for _, want := range []string{"serial/tagless", "serial/tagged", "serial/sharded", "contended/sharded"} {
+	for _, want := range []string{
+		"serial/tagless", "serial/tagged", "serial/sharded", "contended/sharded",
+		"serial-cm-backoff/tagged", "serial-cm-adaptive/tagged", "serial-cm-karma/tagged",
+	} {
 		if !kinds[want] {
 			t.Errorf("bench report missing %s", want)
 		}

@@ -48,6 +48,10 @@ type Options struct {
 	Hash string
 	// Kind selects the ownership-table organization under test.
 	Kind string
+	// CM selects the STM contention-management policy for the live-runtime
+	// experiments ("backoff", "adaptive", "karma"); the scaling experiment
+	// additionally sweeps all policies in its contended comparison.
+	CM string
 	// ScaleTxns is the transactions-per-goroutine count for the scaling
 	// experiment.
 	ScaleTxns int
@@ -65,6 +69,7 @@ func Paper(seed uint64) Options {
 		Alpha:          2,
 		Hash:           "mask",
 		Kind:           "tagless",
+		CM:             "backoff",
 		ScaleTxns:      1500,
 	}
 }

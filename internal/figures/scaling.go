@@ -11,7 +11,12 @@ import (
 	"tmbp/internal/otable"
 	"tmbp/internal/report"
 	"tmbp/internal/stm"
+	"tmbp/internal/xrand"
 )
+
+// blockWords is the number of memory words per ownership block; the CM
+// sweep spaces its hot words a block apart so each touch is its own chunk.
+const blockWords = int(addr.BlockBytes / addr.WordBytes)
 
 // The scaling experiment goes beyond the paper's figures: it measures the
 // live STM's throughput as goroutines are added, across all three ownership
@@ -20,6 +25,11 @@ import (
 // the table's own synchronization (CAS retries, occupancy and statistics
 // counters, shared cache lines) costs as concurrency grows, which is
 // exactly what the sharded organization is built to reduce.
+//
+// A second sweep compares contention-management policies on a deliberately
+// contended workload (a small shared block pool every thread hammers): the
+// disjoint-stripe sweep never aborts on the tagged tables, so CM policy
+// differences only show where transactions genuinely collide.
 
 // Scaling-experiment grid constants.
 var (
@@ -29,6 +39,19 @@ var (
 	ScaleTable = uint64(4096)
 	// ScaleWrites is the per-transaction write footprint.
 	ScaleWrites = 8
+
+	// ScaleCMTable is the table size for the CM-policy comparison.
+	ScaleCMTable = uint64(1024)
+	// ScaleCMBlocks is the shared hot-block pool all threads draw from.
+	ScaleCMBlocks = 64
+	// ScaleCMWrites is the read-modify-write footprint per transaction in
+	// the CM comparison.
+	ScaleCMWrites = 4
+	// ScaleCMFuzz is the per-access scheduler-yield probability in the CM
+	// comparison. Without it, machines with few cores run each transaction
+	// to completion inside one scheduler slice, conflicts never materialize,
+	// and every policy measures the same (see Config.FuzzYield).
+	ScaleCMFuzz = 0.2
 )
 
 // scaleResult is one cell of the sweep.
@@ -91,12 +114,117 @@ func Scale(o Options) ([]*report.Table, error) {
 			shards = sh
 		}
 	}
-	note := fmt.Sprintf("N=%d entries, W=%d writes/txn, alpha=%d, %d txns/goroutine, hash=%s, GOMAXPROCS=%d, %d shards",
-		ScaleTable, ScaleWrites, o.Alpha, o.ScaleTxns, o.Hash, runtime.GOMAXPROCS(0), shards)
+	note := fmt.Sprintf("N=%d entries, W=%d writes/txn, alpha=%d, %d txns/goroutine, hash=%s, GOMAXPROCS=%d, %d shards, cm=%s",
+		ScaleTable, ScaleWrites, o.Alpha, o.ScaleTxns, o.Hash, runtime.GOMAXPROCS(0), shards, cmName(o))
 	thr.Note("%s", note)
 	thr.Note("per-thread stripes are physically disjoint: tagless aborts are all false conflicts; tagged and sharded run conflict-free")
 	ab.Note("%s", note)
-	return []*report.Table{thr, ab}, nil
+
+	cmThr, cmAb, err := scaleCM(o)
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{thr, ab, cmThr, cmAb}, nil
+}
+
+// cmName resolves the configured CM policy name ("" = the default).
+func cmName(o Options) string {
+	if o.CM == "" {
+		return "backoff"
+	}
+	return o.CM
+}
+
+// scaleCM sweeps goroutines × contention-management policies over a
+// contended workload: every thread runs read-modify-write transactions
+// over the same small pool of hot blocks, so aborts are frequent and the
+// between-retry policy — not the table — decides throughput. This is the
+// scenario where adaptive feedback and karma seniority are supposed to
+// beat fixed backoff.
+func scaleCM(o Options) (*report.Table, *report.Table, error) {
+	policies := stm.CMKinds()
+	thr := report.New("Scaling: contended committed txns/sec by CM policy",
+		append([]string{"goroutines"}, policies...)...)
+	ab := report.New("Scaling: contended abort rate by CM policy",
+		append([]string{"goroutines"}, policies...)...)
+	for _, g := range ScaleGoroutines {
+		thrRow := []string{report.Int(g)}
+		abRow := []string{report.Int(g)}
+		for _, policy := range policies {
+			res, err := scaleCMRun(policy, g, o)
+			if err != nil {
+				return nil, nil, err
+			}
+			thrRow = append(thrRow, report.SI(uint64(res.throughput)))
+			abRow = append(abRow, report.Pct(res.abortRate))
+		}
+		thr.Add(thrRow...)
+		ab.Add(abRow...)
+	}
+	note := fmt.Sprintf("tagged table, N=%d entries, %d shared hot blocks, W=%d read-modify-writes/txn, %d txns/goroutine, fuzz=%.2f, GOMAXPROCS=%d",
+		ScaleCMTable, ScaleCMBlocks, ScaleCMWrites, o.ScaleTxns, ScaleCMFuzz, runtime.GOMAXPROCS(0))
+	thr.Note("%s", note)
+	thr.Note("all threads draw blocks from one hot pool: aborts are true conflicts and the CM policy sets the retry schedule")
+	ab.Note("%s", note)
+	return thr, ab, nil
+}
+
+// scaleCMRun measures one contended cell: `goroutines` goroutines each
+// committing o.ScaleTxns read-modify-write transactions over the shared
+// hot-block pool under the given CM policy.
+func scaleCMRun(policy string, goroutines int, o Options) (scaleResult, error) {
+	h, err := hash.New(o.Hash, ScaleCMTable)
+	if err != nil {
+		return scaleResult{}, err
+	}
+	tab, err := otable.New("tagged", h)
+	if err != nil {
+		return scaleResult{}, err
+	}
+	words := ScaleCMBlocks * blockWords
+	mem := stm.NewMemory(words)
+	rt, err := stm.New(stm.Config{Table: tab, Memory: mem, Seed: o.Seed, CM: policy, FuzzYield: ScaleCMFuzz})
+	if err != nil {
+		return scaleResult{}, err
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(gid int) {
+			defer wg.Done()
+			th := rt.NewThread()
+			r := xrand.NewWithStream(o.Seed, uint64(1000+gid))
+			for i := 0; i < o.ScaleTxns; i++ {
+				if err := th.Atomic(func(tx *stm.Tx) error {
+					for k := 0; k < ScaleCMWrites; k++ {
+						blk := r.Intn(ScaleCMBlocks)
+						a := mem.WordAddr(blk * blockWords)
+						tx.Write(a, tx.Read(a)+1)
+					}
+					return nil
+				}); err != nil {
+					errs <- fmt.Errorf("scale cm=%s g=%d: %w", policy, gid, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return scaleResult{}, err
+	}
+
+	st := rt.Stats()
+	res := scaleResult{abortRate: st.AbortRate()}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.throughput = float64(st.Commits) / secs
+	}
+	return res, nil
 }
 
 // scaleRun measures one cell: `goroutines` goroutines each committing
@@ -121,7 +249,7 @@ func scaleRun(kind string, goroutines int, o Options) (scaleResult, error) {
 	blocksPerTxn := ScaleWrites * (1 + o.Alpha)
 	stripeBlocks := blocksPerTxn * 8
 	mem := stm.NewMemory(8) // footprint-only workload: memory is never touched
-	rt, err := stm.New(stm.Config{Table: tab, Memory: mem, Seed: o.Seed})
+	rt, err := stm.New(stm.Config{Table: tab, Memory: mem, Seed: o.Seed, CM: o.CM})
 	if err != nil {
 		return scaleResult{}, err
 	}

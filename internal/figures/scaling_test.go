@@ -12,13 +12,16 @@ func TestScaleSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 2 {
-		t.Fatalf("Scale returned %d tables, want throughput + abort rate", len(tables))
+	if len(tables) != 4 {
+		t.Fatalf("Scale returned %d tables, want throughput + abort rate for organizations and CM policies", len(tables))
 	}
 	out := renderAll(t, tables)
 	for _, want := range []string{
 		"Scaling: committed transactions/sec", "Scaling: abort rate",
 		"tagless", "tagged", "sharded", "sharded/tagged", "GOMAXPROCS",
+		"Scaling: contended committed txns/sec by CM policy",
+		"Scaling: contended abort rate by CM policy",
+		"backoff", "adaptive", "karma",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)

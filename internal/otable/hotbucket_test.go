@@ -145,3 +145,147 @@ func TestHotBucketHammer(t *testing.T) {
 		})
 	}
 }
+
+// TestHotBucketHandleHammer is the release-by-handle variant of the hot
+// bucket hammer: every grant's handle is carried to its release or upgrade,
+// with a random half of the releases going through the walking path so both
+// release flavors interleave on the same records. Streaming goroutines
+// churn unique tags through the same bucket concurrently, keeping the
+// reap/retire/recycle pipeline busy — so handles are continually issued
+// against records whose slab neighbors are being reused, and the
+// generation validation on every handle CAS is what keeps the exclusivity
+// guards and the final drain exact.
+func TestHotBucketHandleHammer(t *testing.T) {
+	const (
+		buckets    = 64
+		aliases    = 8
+		hot        = addr.Block(5)
+		goroutines = 8
+		iters      = 4000
+		streamLen  = 64 // unique tags each streamer cycles through the bucket
+		wrGuard    = int64(1) << 32
+	)
+	for _, kind := range []string{"tagged", "sharded"} {
+		t.Run(kind, func(t *testing.T) {
+			tab, err := New(kind, hash.NewMask(buckets))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ht := tab.(HandleTable)
+			blocks := make([]addr.Block, aliases)
+			guards := make([]*atomic.Int64, aliases)
+			for i := range blocks {
+				blocks[i] = hot + addr.Block(i*buckets)
+				guards[i] = new(atomic.Int64)
+			}
+			var violations atomic.Int64
+			var upgrades, writes, reads atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					r := xrand.NewWithStream(77, uint64(id))
+					tx := TxID(id + 1)
+					if id >= goroutines-2 {
+						// Streamer: walk unique tags through the hot bucket,
+						// forcing insert/park/condemn/unlink/retire/recycle
+						// churn under everyone else's handles.
+						base := addr.Block(1_000_000 * (id + 1))
+						for i := 0; i < iters; i++ {
+							b := base + addr.Block((i%streamLen)*buckets) + hot
+							out, h := ht.AcquireWriteH(tx, b, 0, NoHandle)
+							if out != Granted {
+								continue
+							}
+							if r.Intn(2) == 0 {
+								ht.ReleaseWriteH(tx, b, h)
+							} else {
+								ht.ReleaseWriteH(tx, b, NoHandle) // walking release
+							}
+						}
+						return
+					}
+					for i := 0; i < iters; i++ {
+						bi := r.Intn(aliases)
+						b, guard := blocks[bi], guards[bi]
+						viaHandle := r.Intn(2) == 0
+						switch r.Intn(3) {
+						case 0:
+							out, h := ht.AcquireReadH(tx, b)
+							if out != Granted {
+								continue
+							}
+							if guard.Add(1) <= 0 {
+								violations.Add(1)
+							}
+							reads.Add(1)
+							guard.Add(-1)
+							if !viaHandle {
+								h = NoHandle
+							}
+							ht.ReleaseReadH(tx, b, h)
+						case 1:
+							out, h := ht.AcquireWriteH(tx, b, 0, NoHandle)
+							if out != Granted {
+								continue
+							}
+							if guard.Add(-wrGuard) != -wrGuard {
+								violations.Add(1)
+							}
+							writes.Add(1)
+							guard.Add(wrGuard)
+							if !viaHandle {
+								h = NoHandle
+							}
+							ht.ReleaseWriteH(tx, b, h)
+						default:
+							out, h := ht.AcquireReadH(tx, b)
+							if out != Granted {
+								continue
+							}
+							if guard.Add(1) <= 0 {
+								violations.Add(1)
+							}
+							if up, h2 := ht.AcquireWriteH(tx, b, 1, h); up == Upgraded {
+								if guard.Add(-wrGuard-1) != -wrGuard {
+									violations.Add(1)
+								}
+								upgrades.Add(1)
+								guard.Add(wrGuard)
+								if !viaHandle {
+									h2 = NoHandle
+								}
+								ht.ReleaseWriteH(tx, b, h2)
+							} else {
+								guard.Add(-1)
+								ht.ReleaseReadH(tx, b, h)
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if n := violations.Load(); n != 0 {
+				t.Fatalf("%d exclusivity violations with handle-based releases", n)
+			}
+			for i, g := range guards {
+				if v := g.Load(); v != 0 {
+					t.Fatalf("guard for block %v = %d after drain, want 0", blocks[i], v)
+				}
+			}
+			if occ := tab.Occupied(); occ != 0 {
+				t.Fatalf("occupancy after drain = %d, want 0 (lost release)", occ)
+			}
+			if rt, ok := tab.(interface{ Records() uint64 }); ok {
+				if n := rt.Records(); n != 0 {
+					t.Fatalf("records after drain = %d, want 0 (lost release)", n)
+				}
+			}
+			if reads.Load() == 0 || writes.Load() == 0 || upgrades.Load() == 0 {
+				t.Fatalf("hammer did not exercise all paths: reads=%d writes=%d upgrades=%d",
+					reads.Load(), writes.Load(), upgrades.Load())
+			}
+		})
+	}
+}

@@ -166,6 +166,45 @@ type BlockSlotted interface {
 	SlotsAreBlocks() bool
 }
 
+// Handle names the table location backing a granted permission, so the
+// holder can release or upgrade it without re-locating it: the record link
+// {generation, slab index} for the tagged and sharded tables, the entry
+// index (plus one) for the tagless table. NoHandle means "no location
+// known"; handle-taking operations then fall back to locating the slot
+// from the block, exactly as the non-handle API does.
+//
+// A handle is only meaningful to the table that issued it, only names the
+// record incarnation it was issued under, and carries no permission of its
+// own: the permission lives in the slot state, the handle merely skips the
+// lookup. Tagged-table handles are generation-validated — a stale handle
+// (the record was reaped and its slab slot reused) fails validation and
+// the operation falls back to the locating path, which panics if the
+// claimed permission truly is not there, the same bookkeeping-bug contract
+// as the non-handle API.
+type Handle uint64
+
+// NoHandle is the zero Handle: no table location known.
+const NoHandle Handle = 0
+
+// HandleTable is the optional interface of tables that issue Handles from
+// acquires and honor them on release and upgrade. All built-in tables
+// implement it; the STM uses it to make the serial commit path walk-free
+// (release-by-handle: one generation-validated state CAS per held slot,
+// no chain re-walk).
+type HandleTable interface {
+	// AcquireReadH is AcquireRead returning the handle of the granted
+	// record; NoHandle on a conflict.
+	AcquireReadH(tx TxID, b addr.Block) (Outcome, Handle)
+	// AcquireWriteH is AcquireWrite returning the handle. h, when not
+	// NoHandle, is the caller's handle for the slot it already holds
+	// heldReads read shares on, letting an upgrade skip the walk.
+	AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, Handle)
+	// ReleaseReadH is ReleaseRead through a handle.
+	ReleaseReadH(tx TxID, b addr.Block, h Handle)
+	// ReleaseWriteH is ReleaseWrite through a handle.
+	ReleaseWriteH(tx TxID, b addr.Block, h Handle)
+}
+
 // Stats is a snapshot of table operation counters.
 type Stats struct {
 	ReadAcquires  uint64 // successful read acquires (Granted or AlreadyHeld)
@@ -173,6 +212,7 @@ type Stats struct {
 	Upgrades      uint64 // read→write upgrades
 	Conflicts     uint64 // denied acquires
 	Releases      uint64 // release operations
+	ReleaseWalks  uint64 // tagged only: releases that had to walk a chain (no usable handle)
 	ChainFollows  uint64 // tagged only: records traversed past a bucket head, in any state (physical walk cost)
 	Records       uint64 // tagged only: held ownership records
 	MaxChain      uint64 // tagged only: maximum bucket chain length observed
@@ -187,6 +227,7 @@ type counters struct {
 	upgrades      atomic.Uint64
 	conflicts     atomic.Uint64
 	releases      atomic.Uint64
+	releaseWalks  atomic.Uint64
 	chainFollows  atomic.Uint64
 	maxChain      atomic.Uint64
 }
@@ -198,6 +239,7 @@ func (c *counters) snapshot() Stats {
 		Upgrades:      c.upgrades.Load(),
 		Conflicts:     c.conflicts.Load(),
 		Releases:      c.releases.Load(),
+		ReleaseWalks:  c.releaseWalks.Load(),
 		ChainFollows:  c.chainFollows.Load(),
 		MaxChain:      c.maxChain.Load(),
 	}
@@ -209,6 +251,7 @@ func (c *counters) reset() {
 	c.upgrades.Store(0)
 	c.conflicts.Store(0)
 	c.releases.Store(0)
+	c.releaseWalks.Store(0)
 	c.chainFollows.Store(0)
 	c.maxChain.Store(0)
 }

@@ -127,13 +127,15 @@ func (t *Sharded) locate(b addr.Block) (*Tagged, uint64) {
 // AcquireRead implements Table.
 func (t *Sharded) AcquireRead(tx TxID, b addr.Block) Outcome {
 	s, bucket := t.locate(b)
-	return s.acquireReadAt(bucket, tx, b)
+	out, _ := s.acquireReadAt(bucket, tx, b)
+	return out
 }
 
 // AcquireWrite implements Table.
 func (t *Sharded) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
 	s, bucket := t.locate(b)
-	return s.acquireWriteAt(bucket, tx, b, heldReads)
+	out, _ := s.acquireWriteAt(bucket, tx, b, heldReads)
+	return out
 }
 
 // ReleaseRead implements Table.
@@ -146,6 +148,40 @@ func (t *Sharded) ReleaseRead(tx TxID, b addr.Block) {
 func (t *Sharded) ReleaseWrite(tx TxID, b addr.Block) {
 	s, bucket := t.locate(b)
 	s.releaseWriteAt(bucket, tx, b)
+}
+
+// AcquireReadH implements HandleTable. Handles are issued by — and only
+// meaningful within — the shard the block routes to; since the route is a
+// pure function of the block, a handle presented with the same block
+// always reaches the shard that issued it.
+func (t *Sharded) AcquireReadH(tx TxID, b addr.Block) (Outcome, Handle) {
+	s, bucket := t.locate(b)
+	out, h := s.acquireReadAt(bucket, tx, b)
+	return out, Handle(h)
+}
+
+// AcquireWriteH implements HandleTable.
+func (t *Sharded) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, Handle) {
+	s, bucket := t.locate(b)
+	if h != NoHandle && heldReads > 0 {
+		if out, ok := s.upgradeByHandle(tx, heldReads, uint64(h)); ok {
+			return out, h
+		}
+	}
+	out, link := s.acquireWriteAt(bucket, tx, b, heldReads)
+	return out, Handle(link)
+}
+
+// ReleaseReadH implements HandleTable.
+func (t *Sharded) ReleaseReadH(tx TxID, b addr.Block, h Handle) {
+	s, bucket := t.locate(b)
+	s.releaseReadHAt(bucket, tx, b, h)
+}
+
+// ReleaseWriteH implements HandleTable.
+func (t *Sharded) ReleaseWriteH(tx TxID, b addr.Block, h Handle) {
+	s, bucket := t.locate(b)
+	s.releaseWriteHAt(bucket, tx, b, h)
 }
 
 // Occupied implements Table: the sum of per-shard non-empty bucket counts.
@@ -177,6 +213,7 @@ func (t *Sharded) Stats() Stats {
 		agg.Upgrades += st.Upgrades
 		agg.Conflicts += st.Conflicts
 		agg.Releases += st.Releases
+		agg.ReleaseWalks += st.ReleaseWalks
 		agg.ChainFollows += st.ChainFollows
 		agg.Records += st.Records
 		if st.MaxChain > agg.MaxChain {
@@ -213,4 +250,7 @@ func (t *Sharded) Reset() {
 	}
 }
 
-var _ Table = (*Sharded)(nil)
+var (
+	_ Table       = (*Sharded)(nil)
+	_ HandleTable = (*Sharded)(nil)
+)

@@ -61,6 +61,15 @@ import (
 //	                   validation instead of reading free-list structure
 //	                   as chain structure
 //
+// Acquires hand the record's {generation, index} link back to the caller
+// as a Handle; release and upgrade through the handle skip the chain walk
+// entirely and linearize at the same generation-validated state CAS the
+// walking paths use. Because every state CAS embeds the generation, a
+// stale handle — the record was condemned, unlinked, retired, and its
+// slab slot reused under a new generation — can never land on the new
+// incarnation; it fails validation and the operation falls back to the
+// walking path.
+//
 // The invariants every path preserves:
 //
 //  1. A record's tag is written only while the record is private; walkers
@@ -421,9 +430,10 @@ restart:
 // insertAt publishes a fresh record for b at the head of bucket idx with
 // the given initial mode and payload. headSeen must be the head value a
 // full walk that found no record for b started from; the head CAS against
-// it is what keeps records unique per tag (invariant 6). It reports whether
-// the publish won; on false the caller must re-walk.
-func (t *Tagged) insertAt(idx uint64, b addr.Block, m Mode, payload uint32, headSeen uint64, liveLen uint64) bool {
+// it is what keeps records unique per tag (invariant 6). It returns the
+// published record's link (the caller's Handle); 0 means the publish lost
+// and the caller must re-walk.
+func (t *Tagged) insertAt(idx uint64, b addr.Block, m Mode, payload uint32, headSeen uint64, liveLen uint64) uint64 {
 	st := t.stripeFor(idx)
 	ridx, r := t.alloc(st)
 	// Publishing bumps the generation (invariant 2): the state store below
@@ -445,7 +455,7 @@ func (t *Tagged) insertAt(idx uint64, b addr.Block, m Mode, payload uint32, head
 		// Never published — but the generation was consumed by the state
 		// store, so repool under it; the next cycle bumps it again.
 		t.retire(st, ridx, r)
-		return false
+		return 0
 	}
 	// Published: this record is now the true predecessor of headSeen's
 	// chain, so clear the publish mark and let it serve unlink CASes.
@@ -457,7 +467,7 @@ func (t *Tagged) insertAt(idx uint64, b addr.Block, m Mode, payload uint32, head
 		t.occ.Add(1)
 	}
 	t.stats.observeChain(liveLen + 1)
-	return true
+	return mkLink(g, ridx)
 }
 
 // grant updates the occupancy accounting after a Free→held claim.
@@ -476,20 +486,29 @@ func (t *Tagged) ungrant(idx uint64) {
 
 // AcquireRead implements Table.
 func (t *Tagged) AcquireRead(tx TxID, b addr.Block) Outcome {
-	return t.acquireReadAt(t.h.Index(b), tx, b)
+	out, _ := t.acquireReadAt(t.h.Index(b), tx, b)
+	return out
+}
+
+// AcquireReadH implements HandleTable.
+func (t *Tagged) AcquireReadH(tx TxID, b addr.Block) (Outcome, Handle) {
+	out, h := t.acquireReadAt(t.h.Index(b), tx, b)
+	return out, Handle(h)
 }
 
 // acquireReadAt is AcquireRead with the bucket index precomputed; the
 // sharded table routes here after hashing once at the shard selector. The
 // outcome linearizes at a single CAS: the head CAS for a fresh record, or
-// the state CAS/load of the record for the tag.
-func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) Outcome {
+// the state CAS/load of the record for the tag. The second result is the
+// record's {gen, idx} link — the caller's release/upgrade handle — or 0 on
+// a conflict.
+func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) (Outcome, uint64) {
 	for {
 		r, st, rlink, headSeen, depth, found := t.walk(idx, b)
 		if !found {
-			if t.insertAt(idx, b, Read, 1, headSeen, depth) {
+			if h := t.insertAt(idx, b, Read, 1, headSeen, depth); h != 0 {
 				t.stats.readAcquires.Add(1)
-				return Granted
+				return Granted, h
 			}
 			continue
 		}
@@ -500,20 +519,20 @@ func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) Outcome {
 				if r.state.CompareAndSwap(st, packRec(Read, g, 1)) {
 					t.grant(idx)
 					t.stats.readAcquires.Add(1)
-					return Granted
+					return Granted, rlink
 				}
 			case Read:
 				if r.state.CompareAndSwap(st, packRec(Read, g, recPayload(st)+1)) {
 					t.stats.readAcquires.Add(1)
-					return Granted
+					return Granted, rlink
 				}
 			case Write:
 				if TxID(recPayload(st)) == tx {
 					t.stats.readAcquires.Add(1)
-					return AlreadyHeld
+					return AlreadyHeld, rlink
 				}
 				t.stats.conflicts.Add(1)
-				return ConflictWriter
+				return ConflictWriter, 0
 			}
 			if st = r.state.Load(); recGen(st) != g || recMode(st) == deadMode {
 				break // condemned or recycled under us: re-walk
@@ -526,7 +545,54 @@ func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) Outcome {
 // here is always a *true* conflict: the same block is held by another
 // transaction.
 func (t *Tagged) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
-	return t.acquireWriteAt(t.h.Index(b), tx, b, heldReads)
+	out, _ := t.acquireWriteAt(t.h.Index(b), tx, b, heldReads)
+	return out
+}
+
+// AcquireWriteH implements HandleTable. With a valid handle for a held
+// read share, the read→write upgrade is a single generation-validated
+// state CAS with no chain walk (and no bucket hash) — the upgrade half of
+// release-by-handle.
+func (t *Tagged) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, Handle) {
+	if h != NoHandle && heldReads > 0 {
+		if out, ok := t.upgradeByHandle(tx, heldReads, uint64(h)); ok {
+			return out, h
+		}
+	}
+	out, link := t.acquireWriteAt(t.h.Index(b), tx, b, heldReads)
+	return out, Handle(link)
+}
+
+// upgradeByHandle attempts the read→write upgrade directly on the record
+// named by handle link h. It reports ok=false when the handle is stale
+// (generation mismatch) or the record is not in a state the caller's read
+// share could pin — the caller then falls back to the walking path, whose
+// panics diagnose genuine bookkeeping bugs.
+func (t *Tagged) upgradeByHandle(tx TxID, heldReads uint32, h uint64) (Outcome, bool) {
+	r := t.rec(linkIdx(h))
+	g := linkGen(h)
+	for {
+		st := r.state.Load()
+		if recGen(st) != g || recMode(st) != Read {
+			// Stale handle, or a state the caller's own share cannot explain
+			// (its reads pin the record in Read mode): let the walk decide.
+			return 0, false
+		}
+		payload := recPayload(st)
+		if heldReads > payload {
+			panic(fmt.Sprintf("otable: tagged record has %d sharers but tx %d claims %d held reads",
+				payload, tx, heldReads))
+		}
+		if heldReads < payload {
+			t.stats.conflicts.Add(1)
+			return ConflictReaders, true
+		}
+		if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
+			t.stats.writeAcquires.Add(1)
+			t.stats.upgrades.Add(1)
+			return Upgraded, true
+		}
+	}
 }
 
 // acquireWriteAt is AcquireWrite with the bucket index precomputed. The
@@ -534,13 +600,14 @@ func (t *Tagged) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
 // tx}: it can only succeed while the caller's shares are the record's whole
 // sharer count, so a racing foreign reader either beats the CAS (and the
 // retry observes ConflictReaders) or arrives after exclusivity is sealed.
-func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uint32) Outcome {
+// The second result is the record's handle link, 0 on a conflict.
+func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uint32) (Outcome, uint64) {
 	for {
 		r, st, rlink, headSeen, depth, found := t.walk(idx, b)
 		if !found {
-			if t.insertAt(idx, b, Write, uint32(tx), headSeen, depth) {
+			if h := t.insertAt(idx, b, Write, uint32(tx), headSeen, depth); h != 0 {
 				t.stats.writeAcquires.Add(1)
-				return Granted
+				return Granted, h
 			}
 			continue
 		}
@@ -551,7 +618,7 @@ func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uin
 				if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
 					t.grant(idx)
 					t.stats.writeAcquires.Add(1)
-					return Granted
+					return Granted, rlink
 				}
 			case Read:
 				payload := recPayload(st)
@@ -563,19 +630,19 @@ func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uin
 					if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
 						t.stats.writeAcquires.Add(1)
 						t.stats.upgrades.Add(1)
-						return Upgraded
+						return Upgraded, rlink
 					}
 				} else {
 					t.stats.conflicts.Add(1)
-					return ConflictReaders
+					return ConflictReaders, 0
 				}
 			case Write:
 				if TxID(recPayload(st)) == tx {
 					t.stats.writeAcquires.Add(1)
-					return AlreadyHeld
+					return AlreadyHeld, rlink
 				}
 				t.stats.conflicts.Add(1)
-				return ConflictWriter
+				return ConflictWriter, 0
 			}
 			if st = r.state.Load(); recGen(st) != g || recMode(st) == deadMode {
 				break // condemned or recycled under us: re-walk
@@ -589,6 +656,43 @@ func (t *Tagged) ReleaseRead(tx TxID, b addr.Block) {
 	t.releaseReadAt(t.h.Index(b), tx, b)
 }
 
+// ReleaseReadH implements HandleTable: one generation-validated state CAS
+// on the record the handle names, no chain walk. A stale or useless handle
+// falls back to the walking release.
+func (t *Tagged) ReleaseReadH(tx TxID, b addr.Block, h Handle) {
+	t.releaseReadHAt(t.h.Index(b), tx, b, h)
+}
+
+// releaseReadHAt is ReleaseReadH with the bucket index precomputed.
+func (t *Tagged) releaseReadHAt(idx uint64, tx TxID, b addr.Block, h Handle) {
+	if h == NoHandle {
+		t.releaseReadAt(idx, tx, b)
+		return
+	}
+	r := t.rec(linkIdx(uint64(h)))
+	g := linkGen(uint64(h))
+	for {
+		st := r.state.Load()
+		if recGen(st) != g || recMode(st) != Read || recPayload(st) == 0 {
+			// Stale handle (record reaped and reused since it was issued) or
+			// a state a held share cannot explain: the walking release
+			// decides, and panics on a genuine bookkeeping bug.
+			t.releaseReadAt(idx, tx, b)
+			return
+		}
+		if n := recPayload(st); n > 1 {
+			if r.state.CompareAndSwap(st, packRec(Read, g, n-1)) {
+				t.stats.releases.Add(1)
+				return
+			}
+		} else if r.state.CompareAndSwap(st, packRec(Free, g, 0)) {
+			t.ungrant(idx)
+			t.stats.releases.Add(1)
+			return
+		}
+	}
+}
+
 // releaseReadAt is ReleaseRead with the bucket index precomputed. The
 // release linearizes at the state CAS; dropping the last share parks the
 // record as Free in place — no physical removal, so the common
@@ -597,6 +701,7 @@ func (t *Tagged) ReleaseRead(tx TxID, b addr.Block) {
 // count above zero — so the panic on a missing or non-read record is a
 // caller bookkeeping bug, exactly as under a mutex-guarded table.
 func (t *Tagged) releaseReadAt(idx uint64, tx TxID, b addr.Block) {
+	t.stats.releaseWalks.Add(1)
 	r, st, rlink, _, _, found := t.walk(idx, b)
 	if !found {
 		panic(fmt.Sprintf("otable: ReleaseRead by tx %d on block %v with no read record", tx, b))
@@ -625,10 +730,37 @@ func (t *Tagged) ReleaseWrite(tx TxID, b addr.Block) {
 	t.releaseWriteAt(t.h.Index(b), tx, b)
 }
 
+// ReleaseWriteH implements HandleTable: one generation-validated state CAS
+// on the record the handle names, no chain walk. A stale or useless handle
+// falls back to the walking release.
+func (t *Tagged) ReleaseWriteH(tx TxID, b addr.Block, h Handle) {
+	t.releaseWriteHAt(t.h.Index(b), tx, b, h)
+}
+
+// releaseWriteHAt is ReleaseWriteH with the bucket index precomputed. A
+// write record has exactly one legitimate releaser, so the single CAS
+// cannot be contended by correct code; any mismatch routes to the walking
+// release for diagnosis.
+func (t *Tagged) releaseWriteHAt(idx uint64, tx TxID, b addr.Block, h Handle) {
+	if h != NoHandle {
+		r := t.rec(linkIdx(uint64(h)))
+		g := linkGen(uint64(h))
+		st := r.state.Load()
+		if recGen(st) == g && recMode(st) == Write && TxID(recPayload(st)) == tx &&
+			r.state.CompareAndSwap(st, packRec(Free, g, 0)) {
+			t.ungrant(idx)
+			t.stats.releases.Add(1)
+			return
+		}
+	}
+	t.releaseWriteAt(idx, tx, b)
+}
+
 // releaseWriteAt is ReleaseWrite with the bucket index precomputed. See
 // releaseReadAt for the linearization; a write record has exactly one
 // legitimate releaser, so the CAS to Free can only be contended by bugs.
 func (t *Tagged) releaseWriteAt(idx uint64, tx TxID, b addr.Block) {
+	t.stats.releaseWalks.Add(1)
 	r, st, rlink, _, _, found := t.walk(idx, b)
 	if !found {
 		panic(fmt.Sprintf("otable: ReleaseWrite by tx %d on block %v it does not own", tx, b))
@@ -726,4 +858,7 @@ func (t *Tagged) Reset() {
 	t.stats.reset()
 }
 
-var _ Table = (*Tagged)(nil)
+var (
+	_ Table       = (*Tagged)(nil)
+	_ HandleTable = (*Tagged)(nil)
+)

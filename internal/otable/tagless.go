@@ -62,7 +62,55 @@ func (t *Tagless) SlotOf(b addr.Block) uint64 { return t.h.Index(b) }
 
 // AcquireRead implements Table.
 func (t *Tagless) AcquireRead(tx TxID, b addr.Block) Outcome {
-	e := &t.entries[t.h.Index(b)]
+	return t.acquireReadIdx(t.h.Index(b), tx)
+}
+
+// AcquireReadH implements HandleTable. The handle is the entry index plus
+// one (entries have no generations to validate — the slot itself is the
+// record), so handle-taking operations merely skip the address re-hash.
+func (t *Tagless) AcquireReadH(tx TxID, b addr.Block) (Outcome, Handle) {
+	idx := t.h.Index(b)
+	out := t.acquireReadIdx(idx, tx)
+	if out.Conflict() {
+		return out, NoHandle
+	}
+	return out, Handle(idx + 1)
+}
+
+// AcquireWriteH implements HandleTable.
+func (t *Tagless) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, Handle) {
+	idx := uint64(h) - 1
+	if h == NoHandle {
+		idx = t.h.Index(b)
+	}
+	out := t.acquireWriteIdx(idx, tx, heldReads)
+	if out.Conflict() {
+		return out, NoHandle
+	}
+	return out, Handle(idx + 1)
+}
+
+// ReleaseReadH implements HandleTable.
+func (t *Tagless) ReleaseReadH(tx TxID, b addr.Block, h Handle) {
+	if h == NoHandle {
+		t.ReleaseRead(tx, b)
+		return
+	}
+	t.releaseReadIdx(uint64(h)-1, tx)
+}
+
+// ReleaseWriteH implements HandleTable.
+func (t *Tagless) ReleaseWriteH(tx TxID, b addr.Block, h Handle) {
+	if h == NoHandle {
+		t.ReleaseWrite(tx, b)
+		return
+	}
+	t.releaseWriteIdx(uint64(h)-1, tx)
+}
+
+// acquireReadIdx is AcquireRead on a precomputed entry index.
+func (t *Tagless) acquireReadIdx(idx uint64, tx TxID) Outcome {
+	e := &t.entries[idx]
 	for {
 		old := e.Load()
 		mode, payload := unpackEntry(old)
@@ -94,7 +142,12 @@ func (t *Tagless) AcquireRead(tx TxID, b addr.Block) Outcome {
 // already holds on b's entry; if it equals the entry's full sharer count the
 // acquire is a private upgrade, otherwise foreign readers block it.
 func (t *Tagless) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
-	e := &t.entries[t.h.Index(b)]
+	return t.acquireWriteIdx(t.h.Index(b), tx, heldReads)
+}
+
+// acquireWriteIdx is AcquireWrite on a precomputed entry index.
+func (t *Tagless) acquireWriteIdx(idx uint64, tx TxID, heldReads uint32) Outcome {
+	e := &t.entries[idx]
 	for {
 		old := e.Load()
 		mode, payload := unpackEntry(old)
@@ -134,7 +187,12 @@ func (t *Tagless) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome 
 
 // ReleaseRead implements Table.
 func (t *Tagless) ReleaseRead(tx TxID, b addr.Block) {
-	e := &t.entries[t.h.Index(b)]
+	t.releaseReadIdx(t.h.Index(b), tx)
+}
+
+// releaseReadIdx is ReleaseRead on a precomputed entry index.
+func (t *Tagless) releaseReadIdx(idx uint64, tx TxID) {
+	e := &t.entries[idx]
 	for {
 		old := e.Load()
 		mode, payload := unpackEntry(old)
@@ -159,7 +217,12 @@ func (t *Tagless) ReleaseRead(tx TxID, b addr.Block) {
 
 // ReleaseWrite implements Table.
 func (t *Tagless) ReleaseWrite(tx TxID, b addr.Block) {
-	e := &t.entries[t.h.Index(b)]
+	t.releaseWriteIdx(t.h.Index(b), tx)
+}
+
+// releaseWriteIdx is ReleaseWrite on a precomputed entry index.
+func (t *Tagless) releaseWriteIdx(idx uint64, tx TxID) {
+	e := &t.entries[idx]
 	for {
 		old := e.Load()
 		mode, payload := unpackEntry(old)
@@ -201,4 +264,7 @@ func (t *Tagless) EntryState(i uint64) (Mode, uint32) {
 	return unpackEntry(t.entries[i].Load())
 }
 
-var _ Table = (*Tagless)(nil)
+var (
+	_ Table       = (*Tagless)(nil)
+	_ HandleTable = (*Tagless)(nil)
+)

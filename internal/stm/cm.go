@@ -1,0 +1,209 @@
+package stm
+
+import (
+	"fmt"
+	"runtime"
+
+	"tmbp/internal/xrand"
+)
+
+// Contention management: what a thread does between an aborted attempt and
+// its retry. The paper's runtime model stops at "self-abort with backoff";
+// the literature it sits in (Why TM Should Not Be Obstruction-Free, On the
+// Cost of Concurrency in TM) argues the CM policy — not the table — decides
+// whether contended workloads make progress. The policy is therefore
+// pluggable: Atomic's retry loop consults a per-thread CM at the two points
+// that matter (after a conflict abort, after a completed transaction), and
+// everything else about the runtime is policy-agnostic. Policies only ever
+// change scheduling — who waits and for how long — never what commits, so
+// serializability is identical across them (the oracle tests drive every
+// policy through identical workloads to prove it).
+//
+// Three policies are built in:
+//
+//   - backoff: randomized exponential backoff in scheduler yields, the
+//     original fixed policy. Simple and livelock-free in practice, but it
+//     waits the same way whether the system is thrashing or a conflict was
+//     a one-off.
+//   - adaptive: the same exponential skeleton, with the cap driven by a
+//     per-thread EWMA of recent conflict outcomes. A thread whose recent
+//     history is conflict-free retries almost immediately (one-off
+//     conflicts are cheap); a thread that keeps aborting backs off toward
+//     the full budget (thrashing is expensive). The feedback state is
+//     thread-local — reading it costs nothing and contends with no one.
+//   - karma: seniority by invested work. Every aborted attempt deposits the
+//     attempt's access-set size into the thread's karma account, published
+//     in its padded counter block; the aborter that holds the highest
+//     (karma, thread ID) among registered threads is the senior transaction
+//     and retries immediately, everyone else yields with the backoff
+//     skeleton. Karma resets when the transaction completes. Aborting keeps
+//     raising a loser's karma, so no transaction stays junior forever —
+//     bounded-abort progress the deterministic-schedule suite asserts.
+//
+// Custom policies implement CM and are installed per-runtime through
+// Config.NewCM; the built-ins are selected by name through Config.CM.
+
+// CM is the per-thread contention manager consulted by Atomic's retry
+// loop. Implementations are owned by a single thread and need no internal
+// synchronization (shared feedback state, as in karma, must synchronize on
+// its own). Aborted may block; that is the point.
+type CM interface {
+	// Kind names the policy ("backoff", "adaptive", "karma", ...).
+	Kind() string
+	// Aborted is called after a conflict-aborted attempt, before the retry.
+	// attempt is the 1-based attempt number that just failed; footprint is
+	// the access-set size the attempt had reached when it died. The policy
+	// waits here as it sees fit.
+	Aborted(attempt, footprint int)
+	// Committed is called when a transaction completes — commit or
+	// terminal non-conflict abort (user error, attempt budget) — with the
+	// final access-set size. Policies reset per-transaction state here.
+	Committed(footprint int)
+}
+
+// CMKinds lists the built-in contention-management policies.
+func CMKinds() []string { return []string{"backoff", "adaptive", "karma"} }
+
+// validCM reports whether name selects a built-in policy ("" = backoff).
+func validCM(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, k := range CMKinds() {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// newCM builds thread th's contention manager from the runtime config.
+func newCM(rt *Runtime, th *Thread) CM {
+	base, max := rt.cfg.BackoffBase, rt.cfg.BackoffMax
+	if rt.cfg.NewCM != nil {
+		return rt.cfg.NewCM(th)
+	}
+	switch rt.cfg.CM {
+	case "", "backoff":
+		return &backoffCM{rng: th.rng, base: base, max: max}
+	case "adaptive":
+		return &adaptiveCM{rng: th.rng, base: base, max: max}
+	case "karma":
+		return &karmaCM{rng: th.rng, rt: rt, ctr: th.ctr, base: base, max: max}
+	default:
+		// Config.CM was validated in New; this is unreachable.
+		panic(fmt.Sprintf("stm: unknown CM policy %q", rt.cfg.CM))
+	}
+}
+
+// yieldBackoff is the shared waiting skeleton: yield the processor a
+// randomized number of times, bounded by an exponentially growing limit.
+// Yielding (rather than spinning) lets the conflicting transaction finish
+// and — critically — reshuffles the goroutine schedule, which breaks the
+// phase-locked retry cycles that deterministic workloads otherwise fall
+// into on machines with few cores. base < 0 disables waiting entirely.
+func yieldBackoff(rng *xrand.Rand, base, maxYields, attempt int) {
+	if base < 0 {
+		return
+	}
+	limit := base << uint(min(attempt-1, 20))
+	if limit > maxYields {
+		limit = maxYields
+	}
+	if limit <= 0 {
+		return
+	}
+	yields := rng.Intn(limit) + 1
+	for i := 0; i < yields; i++ {
+		runtime.Gosched()
+	}
+}
+
+// backoffCM is the original fixed policy: randomized exponential backoff
+// between BackoffBase and BackoffMax scheduler yields.
+type backoffCM struct {
+	rng       *xrand.Rand
+	base, max int
+}
+
+func (c *backoffCM) Kind() string { return "backoff" }
+
+func (c *backoffCM) Aborted(attempt, _ int) { yieldBackoff(c.rng, c.base, c.max, attempt) }
+
+func (c *backoffCM) Committed(int) {}
+
+// adaptiveEWMAShift sets the abort-rate smoothing: each outcome moves the
+// estimate 1/8 of the way toward 0 (complete) or 1 (conflict), so the
+// policy reacts within a handful of transactions without chattering on
+// single outliers.
+const adaptiveEWMAShift = 3
+
+// adaptiveCM scales the backoff cap with the thread's recent abort rate.
+// rate is a thread-local EWMA over conflict outcomes in [0, 1]: near 0 the
+// cap collapses to BackoffBase (immediate-ish retry), near 1 it reaches
+// the full BackoffMax.
+type adaptiveCM struct {
+	rng       *xrand.Rand
+	base, max int
+	rate      float64
+}
+
+func (c *adaptiveCM) Kind() string { return "adaptive" }
+
+func (c *adaptiveCM) Aborted(attempt, _ int) {
+	c.rate += (1 - c.rate) / (1 << adaptiveEWMAShift)
+	budget := c.base + int(c.rate*float64(c.max-c.base))
+	yieldBackoff(c.rng, c.base, budget, attempt)
+}
+
+func (c *adaptiveCM) Committed(int) {
+	c.rate -= c.rate / (1 << adaptiveEWMAShift)
+}
+
+// karmaCM orders aborters by invested work. karma is the thread-local
+// account; its value is mirrored into the thread's padded counter block so
+// other threads' policies can rank themselves against it without sharing
+// any other state. Ties are broken by thread ID, so exactly one contender
+// is senior at any instant and symmetric conflicts cannot livelock.
+type karmaCM struct {
+	rng       *xrand.Rand
+	rt        *Runtime
+	ctr       *threadCounters
+	base, max int
+	karma     uint64
+}
+
+func (c *karmaCM) Kind() string { return "karma" }
+
+func (c *karmaCM) Aborted(attempt, footprint int) {
+	c.karma += uint64(footprint) + 1
+	c.ctr.karma.Store(c.karma)
+	if c.senior() {
+		runtime.Gosched() // give the conflicting holder one slice to finish
+		return
+	}
+	yieldBackoff(c.rng, c.base, c.max, attempt)
+}
+
+func (c *karmaCM) Committed(int) {
+	c.karma = 0
+	c.ctr.karma.Store(0)
+}
+
+// senior reports whether this thread holds the highest (karma, thread ID)
+// among all registered threads. Scanning the counter blocks is O(threads),
+// which only the abort path pays.
+func (c *karmaCM) senior() bool {
+	c.rt.mu.Lock()
+	counters := c.rt.counters[:len(c.rt.counters):len(c.rt.counters)]
+	c.rt.mu.Unlock()
+	for _, o := range counters {
+		if o == c.ctr {
+			continue
+		}
+		if k := o.karma.Load(); k > c.karma || (k == c.karma && o.id > c.ctr.id) {
+			return false
+		}
+	}
+	return true
+}

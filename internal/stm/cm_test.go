@@ -1,0 +1,374 @@
+package stm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"tmbp/internal/hash"
+	"tmbp/internal/otable"
+)
+
+// This file is the deterministic-schedule conflict suite for the contention
+// managers: channel-stepped two- and three-thread scenarios whose first
+// attempts are forced — by explicit rendezvous, not scheduler luck — into
+// the classic contention shapes (symmetric livelock, reader-starves-writer,
+// upgrade deadlock). Each scenario asserts the properties a CM owes the
+// runtime: every transaction commits, within a bounded number of aborts,
+// and the committed state is exactly what a serial execution produces —
+// policies may only reschedule retries, never change outcomes.
+//
+// Stepping discipline: rendezvous channels are buffered and each side
+// signals before waiting, so the step itself cannot deadlock; and all
+// channel operations are guarded to the body's first execution, so the
+// conflict-driven re-executions that follow run free under the policy
+// being tested.
+
+// cmAbortBound is the per-scenario abort budget. The scenarios force one
+// or two deterministic conflicts and then rely on the policy to converge;
+// a healthy policy resolves them in a handful of retries, so a bound this
+// generous only trips on genuine livelock.
+const cmAbortBound = 50
+
+// cmMaxAttempts turns a livelocked test into a fast failure instead of a
+// hang: far above cmAbortBound, so it never masks the real assertion.
+const cmMaxAttempts = 1000
+
+// newCMRuntime builds a small runtime for one scenario.
+func newCMRuntime(t *testing.T, kind, policy string) *Runtime {
+	t.Helper()
+	tab, err := otable.New(kind, hash.NewMask(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{
+		Table:       tab,
+		Memory:      NewMemory(64),
+		Seed:        7,
+		CM:          policy,
+		MaxAttempts: cmMaxAttempts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// checkScenario asserts the common postconditions: no errors, bounded
+// aborts, a drained table, and the expected serial outcome per word.
+func checkScenario(t *testing.T, rt *Runtime, errs []error, want map[int]uint64) {
+	t.Helper()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("thread %d: %v", i, err)
+		}
+	}
+	st := rt.Stats()
+	if st.Aborts > cmAbortBound {
+		t.Fatalf("aborts = %d, want <= %d (policy failed to converge)", st.Aborts, cmAbortBound)
+	}
+	for w, v := range want {
+		if got := rt.Memory().LoadDirect(rt.Memory().WordAddr(w)); got != v {
+			t.Fatalf("word %d = %d, want %d", w, got, v)
+		}
+	}
+	if occ := rt.Table().Occupied(); occ != 0 {
+		t.Fatalf("table occupancy after drain = %d", occ)
+	}
+}
+
+// TestCMSymmetricLivelock forces the textbook deadly embrace: two threads
+// acquire two blocks in opposite orders, with a rendezvous guaranteeing
+// both hold their first block before either tries the second. Under 2PL
+// with self-abort this cannot deadlock but can livelock — each retry can
+// re-collide forever if the policy retries in lockstep. Every policy must
+// break the symmetry (backoff/adaptive by randomized waits, karma by the
+// seniority tie-break) and commit both threads within the abort budget.
+func TestCMSymmetricLivelock(t *testing.T) {
+	for _, kind := range otable.Kinds() {
+		for _, policy := range CMKinds() {
+			t.Run(kind+"/"+policy, func(t *testing.T) {
+				t.Parallel()
+				rt := newCMRuntime(t, kind, policy)
+				mem := rt.Memory()
+				// Words 0 and 8 sit in distinct 64-byte blocks.
+				wordA, wordB := 0, 8
+				c1 := make(chan struct{}, 1)
+				c2 := make(chan struct{}, 1)
+				step := func(mine, theirs chan struct{}) {
+					mine <- struct{}{}
+					<-theirs
+				}
+				body := func(first, second int, mine, theirs chan struct{}) func(*Thread) error {
+					return func(th *Thread) error {
+						att := 0
+						return th.Atomic(func(tx *Tx) error {
+							att++
+							a1, a2 := mem.WordAddr(first), mem.WordAddr(second)
+							tx.Write(a1, tx.Read(a1)+1)
+							if att == 1 {
+								// Both threads hold their first block here:
+								// the second writes below must collide.
+								step(mine, theirs)
+							}
+							tx.Write(a2, tx.Read(a2)+1)
+							return nil
+						})
+					}
+				}
+				errs := make([]error, 2)
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go func() { defer wg.Done(); errs[0] = body(wordA, wordB, c1, c2)(rt.NewThread()) }()
+				go func() { defer wg.Done(); errs[1] = body(wordB, wordA, c2, c1)(rt.NewThread()) }()
+				wg.Wait()
+				if rt.Stats().Aborts == 0 {
+					t.Fatal("scenario failed to force a conflict: the rendezvous should make the second writes collide")
+				}
+				checkScenario(t, rt, errs, map[int]uint64{wordA: 2, wordB: 2})
+			})
+		}
+	}
+}
+
+// TestCMReaderStarvesWriter pins a block under two readers' shares and
+// lets a writer bang against it: every write acquire is denied until the
+// readers drain. The readers are released only after the writer has
+// provably aborted at least once, so the scenario always exercises the
+// policy's wait; the writer must then commit promptly.
+func TestCMReaderStarvesWriter(t *testing.T) {
+	for _, policy := range CMKinds() {
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			rt := newCMRuntime(t, "tagged", policy)
+			mem := rt.Memory()
+			a := mem.WordAddr(0)
+			const readers = 2
+			ready := make(chan struct{}, readers)
+			release := make(chan struct{})
+			errs := make([]error, readers+1)
+			var wg sync.WaitGroup
+			for i := 0; i < readers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					th := rt.NewThread()
+					att := 0
+					errs[i] = th.Atomic(func(tx *Tx) error {
+						att++
+						_ = tx.Read(a)
+						if att == 1 {
+							ready <- struct{}{}
+							<-release
+						}
+						return nil
+					})
+				}(i)
+			}
+			for i := 0; i < readers; i++ {
+				<-ready // both shares are now held
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := rt.NewThread()
+				errs[readers] = th.Atomic(func(tx *Tx) error {
+					tx.Write(a, tx.Read(a)+1)
+					return nil
+				})
+			}()
+			// Hold the readers until the writer has hit the denial at least
+			// once, then let everything drain.
+			for i := 0; rt.Stats().Aborts == 0; i++ {
+				if i > 1_000_000 {
+					t.Fatal("writer never conflicted with the held read shares")
+				}
+				runtime.Gosched()
+			}
+			close(release)
+			wg.Wait()
+			checkScenario(t, rt, errs, map[int]uint64{0: 1})
+		})
+	}
+}
+
+// TestCMUpgradeDeadlock makes two transactions read the same block — the
+// rendezvous guarantees both shares are in place — and then upgrade to a
+// write. Under encounter-time 2PL this is the deadlock-prone lock-upgrade
+// pattern; with self-abort it becomes a forced ConflictReaders for
+// whichever thread upgrades first. The loser must release its share (so
+// the winner's upgrade succeeds), retry, and commit within the budget.
+func TestCMUpgradeDeadlock(t *testing.T) {
+	for _, kind := range []string{"tagless", "tagged"} {
+		for _, policy := range CMKinds() {
+			t.Run(kind+"/"+policy, func(t *testing.T) {
+				t.Parallel()
+				rt := newCMRuntime(t, kind, policy)
+				mem := rt.Memory()
+				a := mem.WordAddr(0)
+				c1 := make(chan struct{}, 1)
+				c2 := make(chan struct{}, 1)
+				body := func(mine, theirs chan struct{}) func(*Thread) error {
+					return func(th *Thread) error {
+						att := 0
+						return th.Atomic(func(tx *Tx) error {
+							att++
+							v := tx.Read(a)
+							if att == 1 {
+								mine <- struct{}{}
+								<-theirs // both read shares held: upgrades must collide
+							}
+							tx.Write(a, v+1)
+							return nil
+						})
+					}
+				}
+				errs := make([]error, 2)
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go func() { defer wg.Done(); errs[0] = body(c1, c2)(rt.NewThread()) }()
+				go func() { defer wg.Done(); errs[1] = body(c2, c1)(rt.NewThread()) }()
+				wg.Wait()
+				if rt.Stats().Aborts == 0 {
+					t.Fatal("scenario failed to force an upgrade conflict")
+				}
+				checkScenario(t, rt, errs, map[int]uint64{0: 2})
+			})
+		}
+	}
+}
+
+// TestCMConfigValidation rejects unknown policy names and accepts every
+// built-in (plus the empty default).
+func TestCMConfigValidation(t *testing.T) {
+	tab := otable.NewTagless(hash.NewMask(64))
+	if _, err := New(Config{Table: tab, Memory: NewMemory(8), CM: "bogus"}); err == nil {
+		t.Fatal("unknown CM policy accepted")
+	}
+	for _, policy := range append(CMKinds(), "") {
+		rt, err := New(Config{Table: tab, Memory: NewMemory(8), CM: policy})
+		if err != nil {
+			t.Fatalf("CM %q rejected: %v", policy, err)
+		}
+		want := policy
+		if want == "" {
+			want = "backoff"
+		}
+		if got := rt.NewThread().CM().Kind(); got != want {
+			t.Fatalf("CM %q built policy %q", policy, got)
+		}
+	}
+}
+
+// countingCM is a custom policy recording its callbacks.
+type countingCM struct {
+	aborted, committed int
+}
+
+func (c *countingCM) Kind() string     { return "counting" }
+func (c *countingCM) Aborted(_, _ int) { c.aborted++ }
+func (c *countingCM) Committed(_ int)  { c.committed++ }
+
+// TestCustomCMHook installs a user policy via Config.NewCM and checks it
+// observes commits.
+func TestCustomCMHook(t *testing.T) {
+	tab := otable.NewTagged(hash.NewMask(64))
+	cms := map[*Thread]*countingCM{}
+	rt, err := New(Config{
+		Table:  tab,
+		Memory: NewMemory(8),
+		NewCM: func(th *Thread) CM {
+			c := &countingCM{}
+			cms[th] = c
+			return c
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.NewThread()
+	for i := 0; i < 3; i++ {
+		if err := th.Atomic(func(tx *Tx) error {
+			tx.Write(rt.Memory().WordAddr(0), uint64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := cms[th]
+	if c == nil || c.Kind() != "counting" {
+		t.Fatal("custom CM not installed")
+	}
+	if c.committed != 3 || c.aborted != 0 {
+		t.Fatalf("counting CM saw committed=%d aborted=%d, want 3/0", c.committed, c.aborted)
+	}
+	// A user panic terminates the transaction and must still deliver the
+	// completion callback (karma/abort-rate state resets on every exit).
+	func() {
+		defer func() { _ = recover() }()
+		_ = th.Atomic(func(tx *Tx) error { panic("user bug") })
+	}()
+	if c.committed != 4 {
+		t.Fatalf("counting CM saw committed=%d after user panic, want 4", c.committed)
+	}
+}
+
+// TestCMPoliciesUnderHammer drives every policy through genuine goroutine
+// contention on a tiny table (the all-kinds hammer shape) — run under
+// -race this doubles as the data-race check on the karma policy's shared
+// seniority board.
+func TestCMPoliciesUnderHammer(t *testing.T) {
+	for _, policy := range CMKinds() {
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			tab, err := otable.New("sharded", hash.NewMask(128))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem := NewMemory(1 << 10)
+			rt, err := New(Config{Table: tab, Memory: mem, Seed: 3, CM: policy, FuzzYield: 0.2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const (
+				goroutines = 8
+				txnsEach   = 100
+				increments = 4
+			)
+			var wg sync.WaitGroup
+			errCh := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(gid int) {
+					defer wg.Done()
+					th := rt.NewThread()
+					for i := 0; i < txnsEach; i++ {
+						if err := th.Atomic(func(tx *Tx) error {
+							for k := 0; k < increments; k++ {
+								a := mem.WordAddr((gid*31 + i*7 + k*13) % mem.Words())
+								tx.Write(a, tx.Read(a)+1)
+							}
+							return nil
+						}); err != nil {
+							errCh <- fmt.Errorf("%s g=%d: %w", policy, gid, err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errCh)
+			if err := <-errCh; err != nil {
+				t.Fatal(err)
+			}
+			var sum uint64
+			for i := 0; i < mem.Words(); i++ {
+				sum += mem.LoadDirect(mem.WordAddr(i))
+			}
+			if want := uint64(goroutines * txnsEach * increments); sum != want {
+				t.Fatalf("%s: lost updates: memory sum = %d, want %d", policy, sum, want)
+			}
+		})
+	}
+}

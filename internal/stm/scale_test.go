@@ -8,72 +8,78 @@ import (
 	"tmbp/internal/otable"
 )
 
-// TestAtomicHammerAllKinds drives every table organization through the full
-// transactional path — Atomic, redo logging, conflict abort, backoff — with
-// real goroutine contention on a deliberately small table. Run under -race
-// this exercises the CAS entries (tagless), the striped locks (tagged), and
-// the shard routing plus per-thread runtime counters (sharded).
+// TestAtomicHammerAllKinds drives every table organization × CM policy
+// through the full transactional path — Atomic, redo logging, conflict
+// abort, the policy's between-retry wait — with real goroutine contention
+// on a deliberately small table. Run under -race this exercises the CAS
+// entries (tagless), the lock-free record chains and release-by-handle
+// (tagged), the shard routing plus per-thread runtime counters (sharded),
+// and the karma policy's shared seniority board; the exact-sum assertion
+// proves serializability is identical across policies.
 func TestAtomicHammerAllKinds(t *testing.T) {
 	for _, kind := range otable.Kinds() {
-		t.Run(kind, func(t *testing.T) {
-			t.Parallel()
-			tab, err := otable.New(kind, hash.NewMask(128))
-			if err != nil {
-				t.Fatal(err)
-			}
-			mem := NewMemory(1 << 10)
-			rt, err := New(Config{Table: tab, Memory: mem, Seed: 1, FuzzYield: 0.2})
-			if err != nil {
-				t.Fatal(err)
-			}
-			const (
-				goroutines = 8
-				txnsEach   = 150
-				increments = 4
-			)
-			var wg sync.WaitGroup
-			errs := make(chan error, goroutines)
-			for g := 0; g < goroutines; g++ {
-				wg.Add(1)
-				go func(gid int) {
-					defer wg.Done()
-					th := rt.NewThread()
-					for i := 0; i < txnsEach; i++ {
-						if err := th.Atomic(func(tx *Tx) error {
-							for k := 0; k < increments; k++ {
-								a := mem.WordAddr((gid*31 + i*7 + k*13) % mem.Words())
-								tx.Write(a, tx.Read(a)+1)
+		for _, policy := range CMKinds() {
+			t.Run(kind+"/"+policy, func(t *testing.T) {
+				t.Parallel()
+				tab, err := otable.New(kind, hash.NewMask(128))
+				if err != nil {
+					t.Fatal(err)
+				}
+				mem := NewMemory(1 << 10)
+				rt, err := New(Config{Table: tab, Memory: mem, Seed: 1, FuzzYield: 0.2, CM: policy})
+				if err != nil {
+					t.Fatal(err)
+				}
+				const (
+					goroutines = 8
+					txnsEach   = 150
+					increments = 4
+				)
+				var wg sync.WaitGroup
+				errs := make(chan error, goroutines)
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(gid int) {
+						defer wg.Done()
+						th := rt.NewThread()
+						for i := 0; i < txnsEach; i++ {
+							if err := th.Atomic(func(tx *Tx) error {
+								for k := 0; k < increments; k++ {
+									a := mem.WordAddr((gid*31 + i*7 + k*13) % mem.Words())
+									tx.Write(a, tx.Read(a)+1)
+								}
+								return nil
+							}); err != nil {
+								errs <- err
+								return
 							}
-							return nil
-						}); err != nil {
-							errs <- err
-							return
 						}
-					}
-				}(g)
-			}
-			wg.Wait()
-			close(errs)
-			if err := <-errs; err != nil {
-				t.Fatal(err)
-			}
-			// Every committed increment must be present: the sum over memory
-			// equals goroutines × txns × increments despite all the aborts.
-			var sum uint64
-			for i := 0; i < mem.Words(); i++ {
-				sum += mem.LoadDirect(mem.WordAddr(i))
-			}
-			if want := uint64(goroutines * txnsEach * increments); sum != want {
-				t.Fatalf("lost updates: memory sum = %d, want %d", sum, want)
-			}
-			st := rt.Stats()
-			if st.Commits != goroutines*txnsEach {
-				t.Fatalf("commits = %d, want %d", st.Commits, goroutines*txnsEach)
-			}
-			if occ := tab.Occupied(); occ != 0 {
-				t.Fatalf("%s table occupancy after drain = %d", kind, occ)
-			}
-		})
+					}(g)
+				}
+				wg.Wait()
+				close(errs)
+				if err := <-errs; err != nil {
+					t.Fatal(err)
+				}
+				// Every committed increment must be present: the sum over
+				// memory equals goroutines × txns × increments despite all
+				// the aborts.
+				var sum uint64
+				for i := 0; i < mem.Words(); i++ {
+					sum += mem.LoadDirect(mem.WordAddr(i))
+				}
+				if want := uint64(goroutines * txnsEach * increments); sum != want {
+					t.Fatalf("lost updates: memory sum = %d, want %d", sum, want)
+				}
+				st := rt.Stats()
+				if st.Commits != goroutines*txnsEach {
+					t.Fatalf("commits = %d, want %d", st.Commits, goroutines*txnsEach)
+				}
+				if occ := tab.Occupied(); occ != 0 {
+					t.Fatalf("%s table occupancy after drain = %d", kind, occ)
+				}
+			})
+		}
 	}
 }
 

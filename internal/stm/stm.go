@@ -13,7 +13,10 @@
 // Concurrency control is encounter-time two-phase locking over ownership
 // table slots: permissions are acquired before data access and held until
 // commit or abort, which yields serializable transactions. Contention
-// management is self-abort with randomized exponential backoff.
+// management is self-abort with a pluggable between-retry policy — fixed
+// exponential backoff, abort-rate-adaptive backoff, or karma seniority —
+// selected by Config.CM (see the CM interface in cm.go). Policies only
+// reschedule retries; they never change what commits.
 //
 // # The unified per-thread log
 //
@@ -139,6 +142,13 @@ type Config struct {
 	// scheduler slice and conflicts never materialize. Zero disables it;
 	// it must be < 1.
 	FuzzYield float64
+	// CM selects the contention-management policy by name: "backoff"
+	// (default), "adaptive", or "karma". See the CM interface. All
+	// policies draw their waiting bounds from BackoffBase/BackoffMax.
+	CM string
+	// NewCM, when non-nil, overrides CM with a custom per-thread policy
+	// constructor, called once from NewThread for each thread.
+	NewCM func(th *Thread) CM
 	// Seed makes thread-local randomized backoff reproducible.
 	Seed uint64
 }
@@ -165,13 +175,17 @@ type Runtime struct {
 // threadCounters is one thread's slice of the runtime statistics. Each block
 // is its own heap allocation padded to two cache lines, so no two threads'
 // counters ever share a line and the increments on the commit path stay
-// core-local.
+// core-local. The block doubles as the thread's public contention-management
+// face: karma is the published seniority account the karma policy ranks
+// threads by (zero under every other policy).
 type threadCounters struct {
 	commits atomic.Uint64
 	aborts  atomic.Uint64
 	ntReads atomic.Uint64 // strong-isolation non-transactional probes
 	ntConfl atomic.Uint64 // strong-isolation probes denied by a transaction
-	_       [128 - 4*8]byte
+	karma   atomic.Uint64 // published karma account (karma CM policy only)
+	id      otable.TxID   // owning thread, for deterministic karma tie-breaks
+	_       [128 - 5*8 - 4]byte
 }
 
 // New validates cfg and returns a Runtime.
@@ -187,6 +201,9 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.FuzzYield < 0 || cfg.FuzzYield >= 1 {
 		return nil, fmt.Errorf("stm: FuzzYield = %v must be in [0, 1)", cfg.FuzzYield)
+	}
+	if !validCM(cfg.CM) {
+		return nil, fmt.Errorf("stm: unknown CM policy %q (want one of %v)", cfg.CM, CMKinds())
 	}
 	if cfg.BackoffBase == 0 {
 		cfg.BackoffBase = 4
@@ -247,7 +264,7 @@ func (s Stats) AbortRate() float64 {
 // Runtime for the runtime's lifetime so that Stats can aggregate it.
 func (rt *Runtime) NewThread() *Thread {
 	id := otable.TxID(rt.nextID.Add(1))
-	ctr := &threadCounters{}
+	ctr := &threadCounters{id: id}
 	rt.mu.Lock()
 	rt.counters = append(rt.counters, ctr)
 	rt.mu.Unlock()
@@ -255,17 +272,20 @@ func (rt *Runtime) NewThread() *Thread {
 	if bs, ok := rt.cfg.Table.(otable.BlockSlotted); ok {
 		slotID = bs.SlotsAreBlocks()
 	}
+	ht, _ := rt.cfg.Table.(otable.HandleTable)
 	th := &Thread{
 		rt:       rt,
 		id:       id,
 		ctr:      ctr,
 		tab:      rt.cfg.Table,
+		ht:       ht,
 		mem:      rt.cfg.Memory,
 		wordGran: rt.cfg.Granularity == WordGranularity,
 		slotID:   slotID,
 		rng:      xrand.NewWithStream(rt.cfg.Seed, uint64(id)),
 	}
 	th.tx.th = th
+	th.cm = newCM(rt, th)
 	return th
 }
 
@@ -277,14 +297,21 @@ type Thread struct {
 	rt  *Runtime
 	id  otable.TxID
 	ctr *threadCounters
-	// tab/mem/wordGran/slotID cache the config the hot path consults on
+	// tab/ht/mem/wordGran/slotID cache the config the hot path consults on
 	// every access.
-	tab      otable.Table
+	tab otable.Table
+	// ht is tab's handle-issuing face, nil when the table implements only
+	// the plain Table interface. When present, acquires record the granted
+	// record's handle in the access-set entry and commit/abort release by
+	// handle — no table re-walk on the serial commit path.
+	ht       otable.HandleTable
 	mem      *Memory
 	wordGran bool // ownership tracked per word rather than per block
 	slotID   bool // table slots are blocks: no cross-chunk slot aliasing
 	desc     txn.Desc
 	rng      *xrand.Rand
+	cm       CM  // contention manager consulted between attempts
+	lastFP   int // access-set size of the last finished attempt
 	tx       Tx
 }
 
@@ -314,16 +341,18 @@ func (th *Thread) fuzz() {
 	}
 }
 
-// Atomic runs fn as a transaction, retrying on conflicts (with randomized
-// exponential backoff) until it commits, fn returns an error, or the
-// attempt budget is exhausted. A non-nil error from fn aborts the
-// transaction and is returned unchanged; memory is untouched in that case.
+// Atomic runs fn as a transaction, retrying on conflicts until it commits,
+// fn returns an error, or the attempt budget is exhausted. How the thread
+// waits between retries is the contention manager's decision (Config.CM).
+// A non-nil error from fn aborts the transaction and is returned unchanged;
+// memory is untouched in that case.
 func (th *Thread) Atomic(fn func(tx *Tx) error) error {
 	th.desc.StartTransaction()
 	for {
 		th.desc.Begin()
 		err, conflicted := th.attempt(fn)
 		if !conflicted {
+			th.cm.Committed(th.lastFP)
 			if err != nil {
 				return err // user abort
 			}
@@ -332,9 +361,10 @@ func (th *Thread) Atomic(fn func(tx *Tx) error) error {
 		th.ctr.aborts.Add(1)
 		if th.rt.cfg.MaxAttempts > 0 && th.desc.Attempts >= th.rt.cfg.MaxAttempts {
 			th.desc.Status = txn.Aborted
+			th.cm.Committed(th.lastFP)
 			return fmt.Errorf("%w (%d attempts)", ErrTooManyAttempts, th.desc.Attempts)
 		}
-		th.backoff(th.desc.Attempts)
+		th.cm.Aborted(th.desc.Attempts, th.lastFP)
 	}
 }
 
@@ -345,6 +375,10 @@ func (th *Thread) attempt(fn func(tx *Tx) error) (err error, conflicted bool) {
 		if r := recover(); r != nil {
 			if r != any(conflictSentinel) {
 				th.rollback()
+				// A user panic terminates the transaction: give the CM its
+				// completion callback (resetting karma/abort-rate state)
+				// before propagating, as for any other completion.
+				th.cm.Committed(th.lastFP)
 				panic(r) // user panic: release ownership, propagate
 			}
 			th.rollback()
@@ -386,41 +420,37 @@ func (th *Thread) rollback() {
 
 // releaseAll returns every held slot to the table in first-access order —
 // the obligation-carrying entries of the access set — and retires the set.
+// On handle-issuing tables each release is one generation-validated state
+// CAS on the record the entry's handle names: the table is never re-walked
+// on the commit or abort path.
 func (th *Thread) releaseAll() {
 	set := &th.desc.Set
-	for i, n := 0, set.Len(); i < n; i++ {
-		e := set.At(i)
-		if e.Perm&txn.SlotWrite != 0 {
-			th.tab.ReleaseWrite(th.id, e.Rel)
-		} else if e.Perm&txn.SlotRead != 0 {
-			th.tab.ReleaseRead(th.id, e.Rel)
+	n := set.Len()
+	th.lastFP = n
+	if ht := th.ht; ht != nil {
+		for i := 0; i < n; i++ {
+			e := set.At(i)
+			if e.Perm&txn.SlotWrite != 0 {
+				ht.ReleaseWriteH(th.id, e.Rel, otable.Handle(e.Hnd))
+			} else if e.Perm&txn.SlotRead != 0 {
+				ht.ReleaseReadH(th.id, e.Rel, otable.Handle(e.Hnd))
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			e := set.At(i)
+			if e.Perm&txn.SlotWrite != 0 {
+				th.tab.ReleaseWrite(th.id, e.Rel)
+			} else if e.Perm&txn.SlotRead != 0 {
+				th.tab.ReleaseRead(th.id, e.Rel)
+			}
 		}
 	}
 	set.Reset()
 }
 
-// backoff yields the processor a randomized, exponentially growing number
-// of times. Yielding (rather than spinning) lets the conflicting
-// transaction finish and — critically — reshuffles the goroutine schedule,
-// which breaks the phase-locked retry cycles that deterministic workloads
-// otherwise fall into on machines with few cores.
-func (th *Thread) backoff(attempt int) {
-	base := th.rt.cfg.BackoffBase
-	if base < 0 {
-		return
-	}
-	limit := base << uint(min(attempt-1, 20))
-	if limit > th.rt.cfg.BackoffMax {
-		limit = th.rt.cfg.BackoffMax
-	}
-	if limit <= 0 {
-		return
-	}
-	yields := th.rng.Intn(limit) + 1
-	for i := 0; i < yields; i++ {
-		runtime.Gosched()
-	}
-}
+// CM returns the thread's contention manager (for statistics and tests).
+func (th *Thread) CM() CM { return th.cm }
 
 // Tx is the handle user code receives inside Atomic. It is valid only for
 // the duration of the enclosing attempt. One Tx is embedded in each Thread
@@ -513,6 +543,24 @@ func (tx *Tx) WriteBlock(b addr.Block) {
 	}
 }
 
+// tabAcquireRead requests read permission, through the handle-issuing face
+// when the table has one.
+func (th *Thread) tabAcquireRead(chunk addr.Block) (otable.Outcome, otable.Handle) {
+	if th.ht != nil {
+		return th.ht.AcquireReadH(th.id, chunk)
+	}
+	return th.tab.AcquireRead(th.id, chunk), otable.NoHandle
+}
+
+// tabAcquireWrite requests write permission; h is the caller's handle for
+// an already-held read share on the slot (NoHandle when none).
+func (th *Thread) tabAcquireWrite(chunk addr.Block, heldReads uint32, h otable.Handle) (otable.Outcome, otable.Handle) {
+	if th.ht != nil {
+		return th.ht.AcquireWriteH(th.id, chunk, heldReads, h)
+	}
+	return th.tab.AcquireWrite(th.id, chunk, heldReads), otable.NoHandle
+}
+
 // acquireReadChunk acquires read permission for a chunk with no access-set
 // entry yet, inserts the entry, and returns it. On a denied acquire the
 // attempt aborts with no state change.
@@ -528,8 +576,9 @@ func (th *Thread) acquireReadChunk(chunk addr.Block) *txn.Access {
 		covered = set.FindSlotOwner(slot) >= 0
 	}
 	var out otable.Outcome
+	var hnd otable.Handle
 	if !covered {
-		out = th.tab.AcquireRead(th.id, chunk)
+		out, hnd = th.tabAcquireRead(chunk)
 		if out.Conflict() {
 			th.conflict()
 		}
@@ -541,6 +590,7 @@ func (th *Thread) acquireReadChunk(chunk addr.Block) *txn.Access {
 		// Granted created a release obligation; AlreadyHeld (covering
 		// exclusive permission the table attributes to us) did not.
 		e.Perm |= txn.SlotRead
+		e.Hnd = uint64(hnd)
 		if !th.slotID {
 			set.RecordSlotOwner(e)
 		}
@@ -558,7 +608,9 @@ func (th *Thread) acquireWriteChunk(chunk addr.Block) *txn.Access {
 		if oi := set.FindSlotOwner(slot); oi >= 0 {
 			if owner := set.At(oi); owner.Perm&txn.SlotWrite == 0 {
 				// The slot is held with our read share: a private upgrade.
-				out := th.tab.AcquireWrite(th.id, chunk, 1)
+				// The owner entry's handle names the same slot, so it
+				// survives the upgrade unchanged.
+				out, _ := th.tabAcquireWrite(chunk, 1, otable.Handle(owner.Hnd))
 				if out.Conflict() {
 					th.conflict()
 				}
@@ -571,7 +623,7 @@ func (th *Thread) acquireWriteChunk(chunk addr.Block) *txn.Access {
 			return e
 		}
 	}
-	out := th.tab.AcquireWrite(th.id, chunk, 0)
+	out, hnd := th.tabAcquireWrite(chunk, 0, otable.NoHandle)
 	if out.Conflict() {
 		th.conflict()
 	}
@@ -580,6 +632,7 @@ func (th *Thread) acquireWriteChunk(chunk addr.Block) *txn.Access {
 	e.Perm = txn.PermWrite
 	if out == otable.Granted {
 		e.Perm |= txn.SlotWrite
+		e.Hnd = uint64(hnd)
 		if !th.slotID {
 			set.RecordSlotOwner(e)
 		}
@@ -595,16 +648,19 @@ func (th *Thread) acquireWriteChunk(chunk addr.Block) *txn.Access {
 func (th *Thread) upgradeWriteChunk(e *txn.Access) {
 	if th.slotID {
 		held := uint32(0)
+		h := otable.NoHandle
 		if e.Perm&txn.SlotRead != 0 {
 			held = 1
+			h = otable.Handle(e.Hnd)
 		}
-		out := th.tab.AcquireWrite(th.id, e.Chunk, held)
+		out, hnd := th.tabAcquireWrite(e.Chunk, held, h)
 		if out.Conflict() {
 			th.conflict()
 		}
 		e.Perm = e.Perm&^txn.SlotRead | txn.PermWrite
 		if out != otable.AlreadyHeld {
 			e.Perm |= txn.SlotWrite
+			e.Hnd = uint64(hnd)
 		}
 		return
 	}
@@ -612,7 +668,7 @@ func (th *Thread) upgradeWriteChunk(e *txn.Access) {
 	if oi := set.FindSlotOwner(e.Slot); oi >= 0 {
 		owner := set.At(oi)
 		if owner.Perm&txn.SlotWrite == 0 {
-			out := th.tab.AcquireWrite(th.id, e.Chunk, 1)
+			out, _ := th.tabAcquireWrite(e.Chunk, 1, otable.Handle(owner.Hnd))
 			if out.Conflict() {
 				th.conflict()
 			}
@@ -627,13 +683,14 @@ func (th *Thread) upgradeWriteChunk(e *txn.Access) {
 	}
 	// No owner on record: covering permission was attributed to us by the
 	// table without an obligation; acquire directly.
-	out := th.tab.AcquireWrite(th.id, e.Chunk, 0)
+	out, hnd := th.tabAcquireWrite(e.Chunk, 0, otable.NoHandle)
 	if out.Conflict() {
 		th.conflict()
 	}
 	e.Perm |= txn.PermWrite
 	if out == otable.Granted {
 		e.Perm |= txn.SlotWrite
+		e.Hnd = uint64(hnd)
 		set.RecordSlotOwner(e)
 	}
 }
@@ -659,14 +716,18 @@ func (th *Thread) LoadNT(a addr.Addr) (uint64, error) {
 	}
 	th.ctr.ntReads.Add(1)
 	chunk := th.rt.cfg.Granularity.chunkOf(a)
-	out := th.tab.AcquireRead(th.id, chunk)
+	out, hnd := th.tabAcquireRead(chunk)
 	if out.Conflict() {
 		th.ctr.ntConfl.Add(1)
 		return 0, fmt.Errorf("stm: non-transactional read of %v denied: %v", a, out)
 	}
 	v := mem.load(a)
 	if out == otable.Granted {
-		th.tab.ReleaseRead(th.id, chunk)
+		if th.ht != nil {
+			th.ht.ReleaseReadH(th.id, chunk, hnd)
+		} else {
+			th.tab.ReleaseRead(th.id, chunk)
+		}
 	}
 	// AlreadyHeld: this thread's own active transaction owns the slot
 	// exclusively; the release obligation stays with the transaction.
@@ -688,14 +749,18 @@ func (th *Thread) StoreNT(a addr.Addr, v uint64) error {
 	}
 	th.ctr.ntReads.Add(1)
 	chunk := th.rt.cfg.Granularity.chunkOf(a)
-	out := th.tab.AcquireWrite(th.id, chunk, 0)
+	out, hnd := th.tabAcquireWrite(chunk, 0, otable.NoHandle)
 	if out.Conflict() {
 		th.ctr.ntConfl.Add(1)
 		return fmt.Errorf("stm: non-transactional write of %v denied: %v", a, out)
 	}
 	mem.store(a, v)
 	if out == otable.Granted {
-		th.tab.ReleaseWrite(th.id, chunk)
+		if th.ht != nil {
+			th.ht.ReleaseWriteH(th.id, chunk, hnd)
+		} else {
+			th.tab.ReleaseWrite(th.id, chunk)
+		}
 	}
 	return nil
 }

@@ -71,6 +71,36 @@ func (r *recTable) SlotsAreBlocks() bool {
 	return ok && bs.SlotsAreBlocks()
 }
 
+// recTableH additionally forwards the handle-issuing interface, logging the
+// same logical operations: driven through it, the runtime takes its
+// release-by-handle path, which must produce table traffic identical to
+// both the walking path and the old-triple model.
+type recTableH struct{ recTable }
+
+func (r *recTableH) ht() otable.HandleTable { return r.inner.(otable.HandleTable) }
+
+func (r *recTableH) AcquireReadH(tx otable.TxID, b addr.Block) (otable.Outcome, otable.Handle) {
+	out, h := r.ht().AcquireReadH(tx, b)
+	r.log = append(r.log, fmt.Sprintf("AR %d -> %v", b, out))
+	return out, h
+}
+
+func (r *recTableH) AcquireWriteH(tx otable.TxID, b addr.Block, heldReads uint32, h otable.Handle) (otable.Outcome, otable.Handle) {
+	out, nh := r.ht().AcquireWriteH(tx, b, heldReads, h)
+	r.log = append(r.log, fmt.Sprintf("AW %d held=%d -> %v", b, heldReads, out))
+	return out, nh
+}
+
+func (r *recTableH) ReleaseReadH(tx otable.TxID, b addr.Block, h otable.Handle) {
+	r.ht().ReleaseReadH(tx, b, h)
+	r.log = append(r.log, fmt.Sprintf("RR %d", b))
+}
+
+func (r *recTableH) ReleaseWriteH(tx otable.TxID, b addr.Block, h otable.Handle) {
+	r.ht().ReleaseWriteH(tx, b, h)
+	r.log = append(r.log, fmt.Sprintf("RW %d", b))
+}
+
 // oldModel is the pre-unification per-thread log: the exact Tx.Read/Write/
 // ReadBlock/WriteBlock/commit/rollback logic over BlockSet+WriteLog+
 // Footprint, kept as the executable specification.
@@ -176,25 +206,61 @@ func TestUnifiedLogMatchesOldTripleOracle(t *testing.T) {
 			name := fmt.Sprintf("%s/%s", kind, gran)
 			t.Run(name, func(t *testing.T) {
 				for seed := uint64(1); seed <= seeds; seed++ {
-					runUnifiedLogOracle(t, kind, gran, words, entries, txns, seed)
+					runUnifiedLogOracle(t, kind, gran, words, entries, txns, seed, "backoff", false)
 				}
 			})
 		}
 	}
 }
 
-func runUnifiedLogOracle(t *testing.T, kind string, gran Granularity, words int, entries uint64, txns int, seed uint64) {
+// TestUnifiedLogOracleAcrossCMPolicies repeats the oracle sweep for every
+// contention-management policy, over handle-forwarding recording tables so
+// the runtime takes its release-by-handle path. A policy (or the handle
+// path) that changed the table-op sequence, any read value, a footprint, or
+// final memory would diverge from the model here — proving CM choice only
+// ever reschedules retries and never changes serialization.
+func TestUnifiedLogOracleAcrossCMPolicies(t *testing.T) {
+	const (
+		words   = 64
+		entries = 16
+		txns    = 40
+		seeds   = 3
+	)
+	for _, kind := range otable.Kinds() {
+		for _, gran := range []Granularity{BlockGranularity, WordGranularity} {
+			for _, policy := range CMKinds() {
+				name := fmt.Sprintf("%s/%s/%s", kind, gran, policy)
+				t.Run(name, func(t *testing.T) {
+					for seed := uint64(1); seed <= seeds; seed++ {
+						runUnifiedLogOracle(t, kind, gran, words, entries, txns, seed, policy, true)
+					}
+				})
+			}
+		}
+	}
+}
+
+func runUnifiedLogOracle(t *testing.T, kind string, gran Granularity, words int, entries uint64, txns int, seed uint64, policy string, handles bool) {
 	t.Helper()
-	newRec := func() *recTable {
+	newInner := func() otable.Table {
 		tab, err := otable.New(kind, hash.NewMask(entries))
 		if err != nil {
 			t.Fatal(err)
 		}
-		return &recTable{inner: tab}
+		return tab
 	}
-	realTab, modelTab := newRec(), newRec()
+	var realTab otable.Table
+	var realRec *recTable
+	if handles {
+		h := &recTableH{recTable{inner: newInner()}}
+		realTab, realRec = h, &h.recTable
+	} else {
+		r := &recTable{inner: newInner()}
+		realTab, realRec = r, r
+	}
+	modelTab := &recTable{inner: newInner()}
 	mem := NewMemory(words)
-	rt, err := New(Config{Table: realTab, Memory: mem, Granularity: gran, Seed: seed})
+	rt, err := New(Config{Table: realTab, Memory: mem, Granularity: gran, Seed: seed, CM: policy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,17 +331,17 @@ func runUnifiedLogOracle(t *testing.T, kind string, gran Granularity, words int,
 		}
 
 		// Ownership traffic must be operation-for-operation identical.
-		if len(realTab.log) != len(modelTab.log) {
+		if len(realRec.log) != len(modelTab.log) {
 			t.Fatalf("%s seed=%d txn=%d: table op counts diverge: real %d vs model %d\nreal: %v\nmodel: %v",
-				kind, seed, tn, len(realTab.log), len(modelTab.log), realTab.log, modelTab.log)
+				kind, seed, tn, len(realRec.log), len(modelTab.log), realRec.log, modelTab.log)
 		}
-		for i := range realTab.log {
-			if realTab.log[i] != modelTab.log[i] {
+		for i := range realRec.log {
+			if realRec.log[i] != modelTab.log[i] {
 				t.Fatalf("%s seed=%d txn=%d: table op %d diverges: real %q vs model %q",
-					kind, seed, tn, i, realTab.log[i], modelTab.log[i])
+					kind, seed, tn, i, realRec.log[i], modelTab.log[i])
 			}
 		}
-		realTab.log, modelTab.log = realTab.log[:0], modelTab.log[:0]
+		realRec.log, modelTab.log = realRec.log[:0], modelTab.log[:0]
 	}
 
 	// Final memory identical; both tables drained.

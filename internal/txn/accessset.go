@@ -67,6 +67,7 @@ type Access struct {
 	Chunk addr.Block                               // the accessed chunk: the set key
 	Slot  uint64                                   // the ownership-table slot key for Chunk
 	Rel   addr.Block                               // representative block for releasing the slot (updated on upgrade)
+	Hnd   uint64                                   // table record handle (otable.Handle) backing the slot obligation; 0 = none
 	Word  uint64                                   // memory word index of the chunk's word 0 (valid when WMask != 0)
 	Vals  [addr.BlockBytes / addr.WordBytes]uint64 // redo values, indexed by word-in-chunk
 	Idx   int32                                    // this entry's position in the dense array

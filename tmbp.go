@@ -14,9 +14,12 @@
 //     paper: power-of-two independent tagged sub-tables selected by the
 //     high hash bits, for multi-core isolation);
 //   - a complete STM runtime (begin/read/write/commit/abort, redo logging,
-//     contention management, weak/strong isolation) whose per-thread
-//     bookkeeping is a single open-addressed access set — one probe per
-//     transactional access, zero heap allocations in steady state;
+//     pluggable contention management — fixed backoff, abort-rate-adaptive
+//     backoff, or karma seniority — and weak/strong isolation) whose
+//     per-thread bookkeeping is a single open-addressed access set: one
+//     probe per transactional access, zero heap allocations in steady
+//     state, and commit-time release by record handle with no table
+//     re-walk;
 //   - the analytical model (conflict likelihood ∝ C(C−1)(1+2α)W²/2N) and
 //     its birthday-paradox underpinnings;
 //   - simulators and synthetic workloads reproducing Figures 2-6.
@@ -102,6 +105,15 @@ const (
 	BlockGranularity = stm.BlockGranularity
 	WordGranularity  = stm.WordGranularity
 )
+
+// CM is the per-thread contention-management policy consulted between
+// transaction attempts; select a built-in by name via STMConfig.CM or
+// install a custom one via STMConfig.NewCM.
+type CM = stm.CM
+
+// CMKinds lists the built-in contention-management policies ("backoff",
+// "adaptive", "karma").
+func CMKinds() []string { return stm.CMKinds() }
 
 // ErrTooManyAttempts is returned by Thread.Atomic when the retry budget is
 // exhausted.
