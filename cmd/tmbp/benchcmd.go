@@ -53,6 +53,18 @@ func runBench(fs *flag.FlagSet, args []string) error {
 		}
 		results = append(results, r)
 	}
+	// Per-policy abort-path rows: serial runs never abort, so the rows
+	// above cannot see what a policy does when it matters. These invoke
+	// Aborted directly with synthetic denials and waiting disabled,
+	// pricing the per-abort decision itself — karma's lock-free published-
+	// account ranking, timestamp's board lookup — in ns/op and allocs/op.
+	for _, policy := range stm.CMKinds() {
+		r, err := benchCMAbort(policy, *serialOps, *seed)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
 	for _, kind := range otable.Kinds() {
 		r, err := benchContended(kind, *hashName, *contOps, *seed)
 		if err != nil {
@@ -83,6 +95,7 @@ func runBench(fs *flag.FlagSet, args []string) error {
 	}
 	t.Note("serial: one thread, %d 8-access read-modify-write txns; contended: GOMAXPROCS threads x %d single-word read-modify-write txns on a 256-entry table", *serialOps, *contOps)
 	t.Note("serial-cm-*: the serial workload on the tagged table under each contention-management policy (no aborts occur; this prices the policy plumbing on the hot path)")
+	t.Note("cmabort-*: the policy's Aborted callback invoked directly with synthetic writer/reader denials, waits disabled — the per-abort decision cost (karma ranks over the lock-free board, never a mutex)")
 	t.Note("allocs/op and B/op are process-wide malloc deltas per transaction; steady state must be 0")
 	return t.Render(os.Stdout)
 }
@@ -176,6 +189,74 @@ func benchSerial(workload, kind, cm string, entries uint64, hashName string, ops
 		res.AbortRate = float64(aborts) / float64(commits+aborts)
 	}
 	return res, nil
+}
+
+// benchCMAbort prices one contention-management policy's per-abort decision
+// in isolation. No transactions run: Aborted is invoked directly with
+// synthetic denials (alternating a known writer opponent and an anonymous
+// reader count, the two shapes a real conflict takes), against a runtime
+// with several registered threads so board-ranking policies have something
+// to rank over. BackoffBase = -1 disables all waiting, so ns/op is the
+// decision bookkeeping alone and allocs/op proves the abort path never
+// touches the heap — including karma's seniority ranking, which reads the
+// epoch-published board instead of taking the runtime mutex.
+func benchCMAbort(policy string, ops int, seed uint64) (benchResult, error) {
+	const threads = 8
+	h, err := hash.New("mask", 256)
+	if err != nil {
+		return benchResult{}, err
+	}
+	tab, err := otable.New("tagged", h)
+	if err != nil {
+		return benchResult{}, err
+	}
+	rt, err := stm.New(stm.Config{
+		Table:       tab,
+		Memory:      stm.NewMemory(64),
+		Seed:        seed,
+		CM:          policy,
+		BackoffBase: -1, // decisions only: no yields, no opponent waits
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	ths := make([]*stm.Thread, threads)
+	for i := range ths {
+		ths[i] = rt.NewThread()
+	}
+	cm := ths[0].CM()
+	oppWriter := otable.WriterConflict(ths[1].ID())
+	oppReaders := otable.ReadersConflict(2)
+	cycle := func(i int) {
+		opp := oppWriter
+		if i&1 == 1 {
+			opp = oppReaders
+		}
+		cm.Aborted(i&7+1, 8, opp)
+		if i&7 == 7 {
+			cm.Committed(8)
+		}
+	}
+	for i := 0; i < 1000; i++ { // warm up any lazily built state
+		cycle(i)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		cycle(i)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	cm.Committed(8)
+	return benchResult{
+		Workload:    "cmabort-" + policy,
+		Kind:        "cm",
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+	}, nil
 }
 
 // benchContended measures throughput and abort rate under real goroutine

@@ -80,7 +80,7 @@ func commonFlags(fs *flag.FlagSet) func() figures.Options {
 	alphaF := fs.Int("alpha", 2, "reads per write in synthetic transactions")
 	hashName := fs.String("hash", "mask", "address hash: mask | fibonacci | mix")
 	kind := fs.String("kind", "tagless", "ownership table under test: tagless | tagged | sharded")
-	cm := fs.String("cm", "backoff", "STM contention-management policy: backoff | adaptive | karma")
+	cm := fs.String("cm", "backoff", "STM contention-management policy: backoff | adaptive | karma | timestamp | switching")
 	scaleTxns := fs.Int("scale-txns", 0, "override scaling-experiment transactions per goroutine")
 	return func() figures.Options {
 		o := figures.Paper(*seed)

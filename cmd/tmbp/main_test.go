@@ -113,19 +113,25 @@ func TestRunBenchSubcommandJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("bench -json emitted invalid JSON: %v\n%s", err, out)
 	}
-	if rep.Schema != 1 || len(rep.Results) != 9 {
+	if rep.Schema != 1 || len(rep.Results) != 16 {
 		t.Fatalf("bench report shape: schema=%d results=%d", rep.Schema, len(rep.Results))
 	}
 	kinds := map[string]bool{}
 	for _, r := range rep.Results {
 		kinds[r.Workload+"/"+r.Kind] = true
-		if r.NsPerOp <= 0 || r.Commits == 0 {
-			t.Errorf("%s/%s: ns_per_op=%v commits=%d", r.Workload, r.Kind, r.NsPerOp, r.Commits)
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s/%s: ns_per_op=%v", r.Workload, r.Kind, r.NsPerOp)
+		}
+		// cmabort rows invoke the policy directly and run no transactions.
+		if !strings.HasPrefix(r.Workload, "cmabort") && r.Commits == 0 {
+			t.Errorf("%s/%s: commits=%d", r.Workload, r.Kind, r.Commits)
 		}
 	}
 	for _, want := range []string{
 		"serial/tagless", "serial/tagged", "serial/sharded", "contended/sharded",
 		"serial-cm-backoff/tagged", "serial-cm-adaptive/tagged", "serial-cm-karma/tagged",
+		"serial-cm-timestamp/tagged", "serial-cm-switching/tagged",
+		"cmabort-backoff/cm", "cmabort-karma/cm", "cmabort-timestamp/cm", "cmabort-switching/cm",
 	} {
 		if !kinds[want] {
 			t.Errorf("bench report missing %s", want)

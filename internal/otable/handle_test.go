@@ -35,9 +35,9 @@ func TestHandleReleaseSkipsChainWalk(t *testing.T) {
 					b := addr.Block(i)
 					var out Outcome
 					if i%2 == 0 {
-						out, handles[i] = ht.AcquireWriteH(1, b, 0, NoHandle)
+						out, _, handles[i] = ht.AcquireWriteH(1, b, 0, NoHandle)
 					} else {
-						out, handles[i] = ht.AcquireReadH(1, b)
+						out, _, handles[i] = ht.AcquireReadH(1, b)
 					}
 					if out != Granted {
 						t.Fatalf("cycle %d block %d: outcome %v", cycle, i, out)
@@ -85,11 +85,11 @@ func TestHandleUpgradeSkipsChainWalk(t *testing.T) {
 			ht := tab.(HandleTable)
 			b := addr.Block(7)
 			for cycle := 0; cycle < 20; cycle++ {
-				out, h := ht.AcquireReadH(4, b)
+				out, _, h := ht.AcquireReadH(4, b)
 				if out != Granted {
 					t.Fatalf("read acquire: %v", out)
 				}
-				out, h2 := ht.AcquireWriteH(4, b, 1, h)
+				out, _, h2 := ht.AcquireWriteH(4, b, 1, h)
 				if out != Upgraded || h2 != h {
 					t.Fatalf("upgrade: outcome %v handle %v (want Upgraded, unchanged %v)", out, h2, h)
 				}
@@ -118,14 +118,14 @@ func TestTaglessHandleRoundTrip(t *testing.T) {
 	tab := NewTagless(h)
 	b := addr.Block(3)
 	idx := h.Index(b)
-	out, hd := tab.AcquireReadH(9, b)
+	out, _, hd := tab.AcquireReadH(9, b)
 	if out != Granted || hd == NoHandle {
 		t.Fatalf("AcquireReadH = %v, %v", out, hd)
 	}
 	if mode, n := tab.EntryState(idx); mode != Read || n != 1 {
 		t.Fatalf("entry = %v/%d after read acquire", mode, n)
 	}
-	out, hd2 := tab.AcquireWriteH(9, b, 1, hd)
+	out, _, hd2 := tab.AcquireWriteH(9, b, 1, hd)
 	if out != Upgraded || hd2 != hd {
 		t.Fatalf("AcquireWriteH upgrade = %v, %v", out, hd2)
 	}
@@ -152,7 +152,7 @@ func TestStaleHandleDetected(t *testing.T) {
 	alias := func(k int) addr.Block { return hot + addr.Block(k*64) } // same bucket
 
 	// Park hot's record as Free, keeping its (now dead-weight) handle.
-	out, stale := tab.AcquireWriteH(1, hot, 0, NoHandle)
+	out, _, stale := tab.AcquireWriteH(1, hot, 0, NoHandle)
 	if out != Granted {
 		t.Fatalf("setup acquire: %v", out)
 	}
@@ -168,7 +168,7 @@ func TestStaleHandleDetected(t *testing.T) {
 	}
 	var held []heldRec
 	for k := 1; k <= reapDepth+2; k++ {
-		out, hk := tab.AcquireWriteH(2, alias(k), 0, NoHandle)
+		out, _, hk := tab.AcquireWriteH(2, alias(k), 0, NoHandle)
 		if out != Granted {
 			t.Fatalf("chain-grow acquire %d: %v", k, out)
 		}
@@ -207,7 +207,7 @@ func TestStaleReadHandleFallsBack(t *testing.T) {
 	hot := addr.Block(9)
 	alias := func(k int) addr.Block { return hot + addr.Block(k*64) }
 
-	out, stale := tab.AcquireReadH(1, hot)
+	out, _, stale := tab.AcquireReadH(1, hot)
 	if out != Granted {
 		t.Fatalf("setup acquire: %v", out)
 	}
@@ -215,7 +215,7 @@ func TestStaleReadHandleFallsBack(t *testing.T) {
 
 	var handles []Handle
 	for k := 1; k <= reapDepth+2; k++ {
-		out, hk := tab.AcquireReadH(2, alias(k))
+		out, _, hk := tab.AcquireReadH(2, alias(k))
 		if out != Granted {
 			t.Fatalf("chain-grow acquire %d: %v", k, out)
 		}
@@ -260,11 +260,11 @@ func TestHandleAcquireOutcomeParity(t *testing.T) {
 			b1, b2 := addr.Block(1), addr.Block(33) // alias under 32 entries
 			// tx 1 writes b1; tx 2's read of the aliasing b2 conflicts only
 			// on the tagless table — both APIs must agree either way.
-			o1 := plain.AcquireWrite(1, b1, 0)
-			o2, h1 := ht.AcquireWriteH(1, b1, 0, NoHandle)
+			o1, _ := plain.AcquireWrite(1, b1, 0)
+			o2, _, h1 := ht.AcquireWriteH(1, b1, 0, NoHandle)
 			check("write b1", o1, o2)
-			o1 = plain.AcquireRead(2, b2)
-			o2, _ = ht.AcquireReadH(2, b2)
+			o1, _ = plain.AcquireRead(2, b2)
+			o2, _, _ = ht.AcquireReadH(2, b2)
 			check("read b2", o1, o2)
 			if o1 == Granted {
 				plain.ReleaseRead(2, b2)

@@ -141,7 +141,7 @@ func runOracleComparison(t *testing.T, mk func() Table, seed uint64) bool {
 			if _, w := heldWrite[k]; w || heldReads[k] > 0 {
 				continue // footprint fast path would skip the table
 			}
-			got := tab.AcquireRead(tx, b)
+			got, _ := tab.AcquireRead(tx, b)
 			want := orc.acquireRead(tx, b)
 			if got != want {
 				t.Logf("step %d: AcquireRead(%d, %v) = %v, oracle %v", step, tx, b, got, want)
@@ -156,7 +156,7 @@ func runOracleComparison(t *testing.T, mk func() Table, seed uint64) bool {
 				continue
 			}
 			hr := heldReads[k]
-			got := tab.AcquireWrite(tx, b, hr)
+			got, _ := tab.AcquireWrite(tx, b, hr)
 			want := orc.acquireWrite(tx, b, hr)
 			if got != want {
 				t.Logf("step %d: AcquireWrite(%d, %v, %d) = %v, oracle %v", step, tx, b, hr, got, want)

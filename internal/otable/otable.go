@@ -134,11 +134,15 @@ type Table interface {
 	// tagless tables (aliasing blocks share a slot) and the block number
 	// itself for tagged tables (every block has its own slot).
 	SlotOf(b addr.Block) uint64
-	// AcquireRead requests shared permission on b for tx.
-	AcquireRead(tx TxID, b addr.Block) Outcome
+	// AcquireRead requests shared permission on b for tx. On a denial the
+	// ConflictInfo names the opponent observed at the denying state word;
+	// it is NoConflict on success.
+	AcquireRead(tx TxID, b addr.Block) (Outcome, ConflictInfo)
 	// AcquireWrite requests exclusive permission on b for tx. heldReads is
-	// the number of read shares tx currently holds on SlotOf(b).
-	AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome
+	// the number of read shares tx currently holds on SlotOf(b). On a
+	// denial the ConflictInfo names the opponent (the owning writer, or
+	// the foreign-sharer count).
+	AcquireWrite(tx TxID, b addr.Block, heldReads uint32) (Outcome, ConflictInfo)
 	// ReleaseRead returns one read share on b's slot. It panics if the slot
 	// holds no read permission (a caller bookkeeping bug).
 	ReleaseRead(tx TxID, b addr.Block)
@@ -194,11 +198,11 @@ const NoHandle Handle = 0
 type HandleTable interface {
 	// AcquireReadH is AcquireRead returning the handle of the granted
 	// record; NoHandle on a conflict.
-	AcquireReadH(tx TxID, b addr.Block) (Outcome, Handle)
+	AcquireReadH(tx TxID, b addr.Block) (Outcome, ConflictInfo, Handle)
 	// AcquireWriteH is AcquireWrite returning the handle. h, when not
 	// NoHandle, is the caller's handle for the slot it already holds
 	// heldReads read shares on, letting an upgrade skip the walk.
-	AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, Handle)
+	AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, ConflictInfo, Handle)
 	// ReleaseReadH is ReleaseRead through a handle.
 	ReleaseReadH(tx TxID, b addr.Block, h Handle)
 	// ReleaseWriteH is ReleaseWrite through a handle.

@@ -125,17 +125,17 @@ func (t *Sharded) locate(b addr.Block) (*Tagged, uint64) {
 }
 
 // AcquireRead implements Table.
-func (t *Sharded) AcquireRead(tx TxID, b addr.Block) Outcome {
+func (t *Sharded) AcquireRead(tx TxID, b addr.Block) (Outcome, ConflictInfo) {
 	s, bucket := t.locate(b)
-	out, _ := s.acquireReadAt(bucket, tx, b)
-	return out
+	out, ci, _ := s.acquireReadAt(bucket, tx, b)
+	return out, ci
 }
 
 // AcquireWrite implements Table.
-func (t *Sharded) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
+func (t *Sharded) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) (Outcome, ConflictInfo) {
 	s, bucket := t.locate(b)
-	out, _ := s.acquireWriteAt(bucket, tx, b, heldReads)
-	return out
+	out, ci, _ := s.acquireWriteAt(bucket, tx, b, heldReads)
+	return out, ci
 }
 
 // ReleaseRead implements Table.
@@ -154,22 +154,22 @@ func (t *Sharded) ReleaseWrite(tx TxID, b addr.Block) {
 // meaningful within — the shard the block routes to; since the route is a
 // pure function of the block, a handle presented with the same block
 // always reaches the shard that issued it.
-func (t *Sharded) AcquireReadH(tx TxID, b addr.Block) (Outcome, Handle) {
+func (t *Sharded) AcquireReadH(tx TxID, b addr.Block) (Outcome, ConflictInfo, Handle) {
 	s, bucket := t.locate(b)
-	out, h := s.acquireReadAt(bucket, tx, b)
-	return out, Handle(h)
+	out, ci, h := s.acquireReadAt(bucket, tx, b)
+	return out, ci, Handle(h)
 }
 
 // AcquireWriteH implements HandleTable.
-func (t *Sharded) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, Handle) {
+func (t *Sharded) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, ConflictInfo, Handle) {
 	s, bucket := t.locate(b)
 	if h != NoHandle && heldReads > 0 {
-		if out, ok := s.upgradeByHandle(tx, heldReads, uint64(h)); ok {
-			return out, h
+		if out, ci, ok := s.upgradeByHandle(tx, heldReads, uint64(h)); ok {
+			return out, ci, h
 		}
 	}
-	out, link := s.acquireWriteAt(bucket, tx, b, heldReads)
-	return out, Handle(link)
+	out, ci, link := s.acquireWriteAt(bucket, tx, b, heldReads)
+	return out, ci, Handle(link)
 }
 
 // ReleaseReadH implements HandleTable.

@@ -485,30 +485,32 @@ func (t *Tagged) ungrant(idx uint64) {
 }
 
 // AcquireRead implements Table.
-func (t *Tagged) AcquireRead(tx TxID, b addr.Block) Outcome {
-	out, _ := t.acquireReadAt(t.h.Index(b), tx, b)
-	return out
+func (t *Tagged) AcquireRead(tx TxID, b addr.Block) (Outcome, ConflictInfo) {
+	out, ci, _ := t.acquireReadAt(t.h.Index(b), tx, b)
+	return out, ci
 }
 
 // AcquireReadH implements HandleTable.
-func (t *Tagged) AcquireReadH(tx TxID, b addr.Block) (Outcome, Handle) {
-	out, h := t.acquireReadAt(t.h.Index(b), tx, b)
-	return out, Handle(h)
+func (t *Tagged) AcquireReadH(tx TxID, b addr.Block) (Outcome, ConflictInfo, Handle) {
+	out, ci, h := t.acquireReadAt(t.h.Index(b), tx, b)
+	return out, ci, Handle(h)
 }
 
 // acquireReadAt is AcquireRead with the bucket index precomputed; the
 // sharded table routes here after hashing once at the shard selector. The
 // outcome linearizes at a single CAS: the head CAS for a fresh record, or
-// the state CAS/load of the record for the tag. The second result is the
-// record's {gen, idx} link — the caller's release/upgrade handle — or 0 on
-// a conflict.
-func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) (Outcome, uint64) {
+// the state CAS/load of the record for the tag. A denial's ConflictInfo is
+// unpacked from the same generation-validated state word that decided it,
+// so a reaped-and-reused record can never leak a stale owner. The third
+// result is the record's {gen, idx} link — the caller's release/upgrade
+// handle — or 0 on a conflict.
+func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) (Outcome, ConflictInfo, uint64) {
 	for {
 		r, st, rlink, headSeen, depth, found := t.walk(idx, b)
 		if !found {
 			if h := t.insertAt(idx, b, Read, 1, headSeen, depth); h != 0 {
 				t.stats.readAcquires.Add(1)
-				return Granted, h
+				return Granted, NoConflict, h
 			}
 			continue
 		}
@@ -519,20 +521,20 @@ func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) (Outcome, uint
 				if r.state.CompareAndSwap(st, packRec(Read, g, 1)) {
 					t.grant(idx)
 					t.stats.readAcquires.Add(1)
-					return Granted, rlink
+					return Granted, NoConflict, rlink
 				}
 			case Read:
 				if r.state.CompareAndSwap(st, packRec(Read, g, recPayload(st)+1)) {
 					t.stats.readAcquires.Add(1)
-					return Granted, rlink
+					return Granted, NoConflict, rlink
 				}
 			case Write:
 				if TxID(recPayload(st)) == tx {
 					t.stats.readAcquires.Add(1)
-					return AlreadyHeld, rlink
+					return AlreadyHeld, NoConflict, rlink
 				}
 				t.stats.conflicts.Add(1)
-				return ConflictWriter, 0
+				return ConflictWriter, WriterConflict(TxID(recPayload(st))), 0
 			}
 			if st = r.state.Load(); recGen(st) != g || recMode(st) == deadMode {
 				break // condemned or recycled under us: re-walk
@@ -544,23 +546,23 @@ func (t *Tagged) acquireReadAt(idx uint64, tx TxID, b addr.Block) (Outcome, uint
 // AcquireWrite implements Table. Because records are per-block, a conflict
 // here is always a *true* conflict: the same block is held by another
 // transaction.
-func (t *Tagged) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
-	out, _ := t.acquireWriteAt(t.h.Index(b), tx, b, heldReads)
-	return out
+func (t *Tagged) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) (Outcome, ConflictInfo) {
+	out, ci, _ := t.acquireWriteAt(t.h.Index(b), tx, b, heldReads)
+	return out, ci
 }
 
 // AcquireWriteH implements HandleTable. With a valid handle for a held
 // read share, the read→write upgrade is a single generation-validated
 // state CAS with no chain walk (and no bucket hash) — the upgrade half of
 // release-by-handle.
-func (t *Tagged) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, Handle) {
+func (t *Tagged) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, ConflictInfo, Handle) {
 	if h != NoHandle && heldReads > 0 {
-		if out, ok := t.upgradeByHandle(tx, heldReads, uint64(h)); ok {
-			return out, h
+		if out, ci, ok := t.upgradeByHandle(tx, heldReads, uint64(h)); ok {
+			return out, ci, h
 		}
 	}
-	out, link := t.acquireWriteAt(t.h.Index(b), tx, b, heldReads)
-	return out, Handle(link)
+	out, ci, link := t.acquireWriteAt(t.h.Index(b), tx, b, heldReads)
+	return out, ci, Handle(link)
 }
 
 // upgradeByHandle attempts the read→write upgrade directly on the record
@@ -568,7 +570,7 @@ func (t *Tagged) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle
 // (generation mismatch) or the record is not in a state the caller's read
 // share could pin — the caller then falls back to the walking path, whose
 // panics diagnose genuine bookkeeping bugs.
-func (t *Tagged) upgradeByHandle(tx TxID, heldReads uint32, h uint64) (Outcome, bool) {
+func (t *Tagged) upgradeByHandle(tx TxID, heldReads uint32, h uint64) (Outcome, ConflictInfo, bool) {
 	r := t.rec(linkIdx(h))
 	g := linkGen(h)
 	for {
@@ -576,7 +578,7 @@ func (t *Tagged) upgradeByHandle(tx TxID, heldReads uint32, h uint64) (Outcome, 
 		if recGen(st) != g || recMode(st) != Read {
 			// Stale handle, or a state the caller's own share cannot explain
 			// (its reads pin the record in Read mode): let the walk decide.
-			return 0, false
+			return 0, NoConflict, false
 		}
 		payload := recPayload(st)
 		if heldReads > payload {
@@ -585,12 +587,12 @@ func (t *Tagged) upgradeByHandle(tx TxID, heldReads uint32, h uint64) (Outcome, 
 		}
 		if heldReads < payload {
 			t.stats.conflicts.Add(1)
-			return ConflictReaders, true
+			return ConflictReaders, ReadersConflict(payload - heldReads), true
 		}
 		if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
 			t.stats.writeAcquires.Add(1)
 			t.stats.upgrades.Add(1)
-			return Upgraded, true
+			return Upgraded, NoConflict, true
 		}
 	}
 }
@@ -600,14 +602,15 @@ func (t *Tagged) upgradeByHandle(tx TxID, heldReads uint32, h uint64) (Outcome, 
 // tx}: it can only succeed while the caller's shares are the record's whole
 // sharer count, so a racing foreign reader either beats the CAS (and the
 // retry observes ConflictReaders) or arrives after exclusivity is sealed.
-// The second result is the record's handle link, 0 on a conflict.
-func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uint32) (Outcome, uint64) {
+// A denial's ConflictInfo comes from the same generation-validated state
+// word; the third result is the record's handle link, 0 on a conflict.
+func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uint32) (Outcome, ConflictInfo, uint64) {
 	for {
 		r, st, rlink, headSeen, depth, found := t.walk(idx, b)
 		if !found {
 			if h := t.insertAt(idx, b, Write, uint32(tx), headSeen, depth); h != 0 {
 				t.stats.writeAcquires.Add(1)
-				return Granted, h
+				return Granted, NoConflict, h
 			}
 			continue
 		}
@@ -618,7 +621,7 @@ func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uin
 				if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
 					t.grant(idx)
 					t.stats.writeAcquires.Add(1)
-					return Granted, rlink
+					return Granted, NoConflict, rlink
 				}
 			case Read:
 				payload := recPayload(st)
@@ -630,19 +633,19 @@ func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uin
 					if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
 						t.stats.writeAcquires.Add(1)
 						t.stats.upgrades.Add(1)
-						return Upgraded, rlink
+						return Upgraded, NoConflict, rlink
 					}
 				} else {
 					t.stats.conflicts.Add(1)
-					return ConflictReaders, 0
+					return ConflictReaders, ReadersConflict(payload - heldReads), 0
 				}
 			case Write:
 				if TxID(recPayload(st)) == tx {
 					t.stats.writeAcquires.Add(1)
-					return AlreadyHeld, rlink
+					return AlreadyHeld, NoConflict, rlink
 				}
 				t.stats.conflicts.Add(1)
-				return ConflictWriter, 0
+				return ConflictWriter, WriterConflict(TxID(recPayload(st))), 0
 			}
 			if st = r.state.Load(); recGen(st) != g || recMode(st) == deadMode {
 				break // condemned or recycled under us: re-walk

@@ -15,10 +15,10 @@ func TestTaggedNoFalseConflicts(t *testing.T) {
 	// The defining property (Section 5): aliasing blocks 3 and 67 in a
 	// 64-bucket table are held by different writers simultaneously.
 	tab := newTagged(64)
-	if got := tab.AcquireWrite(1, 3, 0); got != Granted {
+	if got, _ := tab.AcquireWrite(1, 3, 0); got != Granted {
 		t.Fatalf("first write: %v", got)
 	}
-	if got := tab.AcquireWrite(2, 67, 0); got != Granted {
+	if got, _ := tab.AcquireWrite(2, 67, 0); got != Granted {
 		t.Fatalf("aliasing write should be granted in tagged table: %v", got)
 	}
 	if tab.Records() != 2 {
@@ -32,10 +32,10 @@ func TestTaggedNoFalseConflicts(t *testing.T) {
 func TestTaggedTrueConflictStillDetected(t *testing.T) {
 	tab := newTagged(64)
 	tab.AcquireWrite(1, 3, 0)
-	if got := tab.AcquireWrite(2, 3, 0); got != ConflictWriter {
+	if got, _ := tab.AcquireWrite(2, 3, 0); got != ConflictWriter {
 		t.Fatalf("same-block write: %v, want ConflictWriter", got)
 	}
-	if got := tab.AcquireRead(2, 3); got != ConflictWriter {
+	if got, _ := tab.AcquireRead(2, 3); got != ConflictWriter {
 		t.Fatalf("same-block read: %v, want ConflictWriter", got)
 	}
 }
@@ -45,12 +45,12 @@ func TestTaggedSharedReads(t *testing.T) {
 	tab.AcquireRead(1, 5)
 	tab.AcquireRead(2, 5)
 	tab.AcquireRead(3, 69) // aliases block 5's bucket
-	if got := tab.AcquireWrite(4, 5, 0); got != ConflictReaders {
+	if got, _ := tab.AcquireWrite(4, 5, 0); got != ConflictReaders {
 		t.Fatalf("write vs readers: %v", got)
 	}
 	// But the aliasing block 69 is independently writable... no — tx 3
 	// holds a read on 69 itself, so a different tx conflicts only on 69.
-	if got := tab.AcquireWrite(4, 133, 0); got != Granted {
+	if got, _ := tab.AcquireWrite(4, 133, 0); got != Granted {
 		t.Fatalf("third aliasing block should be independent: %v", got)
 	}
 }
@@ -58,7 +58,7 @@ func TestTaggedSharedReads(t *testing.T) {
 func TestTaggedUpgrade(t *testing.T) {
 	tab := newTagged(64)
 	tab.AcquireRead(1, 9)
-	if got := tab.AcquireWrite(1, 9, 1); got != Upgraded {
+	if got, _ := tab.AcquireWrite(1, 9, 1); got != Upgraded {
 		t.Fatalf("upgrade: %v", got)
 	}
 	tab.ReleaseWrite(1, 9)
@@ -71,7 +71,7 @@ func TestTaggedUpgradeBlockedByOtherReader(t *testing.T) {
 	tab := newTagged(64)
 	tab.AcquireRead(1, 9)
 	tab.AcquireRead(2, 9)
-	if got := tab.AcquireWrite(1, 9, 1); got != ConflictReaders {
+	if got, _ := tab.AcquireWrite(1, 9, 1); got != ConflictReaders {
 		t.Fatalf("upgrade with foreign reader: %v", got)
 	}
 }
@@ -79,15 +79,15 @@ func TestTaggedUpgradeBlockedByOtherReader(t *testing.T) {
 func TestTaggedReacquire(t *testing.T) {
 	tab := newTagged(64)
 	tab.AcquireWrite(1, 5, 0)
-	if got := tab.AcquireWrite(1, 5, 0); got != AlreadyHeld {
+	if got, _ := tab.AcquireWrite(1, 5, 0); got != AlreadyHeld {
 		t.Fatalf("re-write: %v", got)
 	}
-	if got := tab.AcquireRead(1, 5); got != AlreadyHeld {
+	if got, _ := tab.AcquireRead(1, 5); got != AlreadyHeld {
 		t.Fatalf("read under own write: %v", got)
 	}
 	// Unlike tagless, an aliasing block is NOT covered by the write: it is
 	// a separate record.
-	if got := tab.AcquireWrite(1, 69, 0); got != Granted {
+	if got, _ := tab.AcquireWrite(1, 69, 0); got != Granted {
 		t.Fatalf("aliasing block should need its own record: %v", got)
 	}
 }
@@ -96,7 +96,7 @@ func TestTaggedChainAccounting(t *testing.T) {
 	tab := newTagged(8)
 	// Blocks 0, 8, 16, 24 all land in bucket 0.
 	for i, b := range []addr.Block{0, 8, 16, 24} {
-		if got := tab.AcquireWrite(TxID(i+1), b, 0); got != Granted {
+		if got, _ := tab.AcquireWrite(TxID(i+1), b, 0); got != Granted {
 			t.Fatalf("write %d: %v", i, got)
 		}
 	}
@@ -109,10 +109,10 @@ func TestTaggedChainAccounting(t *testing.T) {
 	}
 	// Remove the middle record and verify the chain stays intact.
 	tab.ReleaseWrite(2, 8)
-	if got := tab.AcquireRead(5, 16); got != ConflictWriter {
+	if got, _ := tab.AcquireRead(5, 16); got != ConflictWriter {
 		t.Fatalf("block 16 should still be write-held after unrelated removal: %v", got)
 	}
-	if got := tab.AcquireWrite(6, 8, 0); got != Granted {
+	if got, _ := tab.AcquireWrite(6, 8, 0); got != Granted {
 		t.Fatalf("removed block should be reacquirable: %v", got)
 	}
 }
@@ -146,7 +146,7 @@ func TestTaggedReset(t *testing.T) {
 	if tab.Occupied() != 0 || tab.Records() != 0 {
 		t.Fatalf("after reset: occ=%d records=%d", tab.Occupied(), tab.Records())
 	}
-	if got := tab.AcquireWrite(3, 2, 0); got != Granted {
+	if got, _ := tab.AcquireWrite(3, 2, 0); got != Granted {
 		t.Fatalf("write after reset: %v", got)
 	}
 }
@@ -225,7 +225,7 @@ func TestTaggedSmallTableStripes(t *testing.T) {
 	// Tables smaller than the stripe count must still work.
 	tab := newTagged(2)
 	for b := addr.Block(0); b < 20; b++ {
-		if got := tab.AcquireRead(1, b); got != Granted {
+		if got, _ := tab.AcquireRead(1, b); got != Granted {
 			t.Fatalf("read %d: %v", b, got)
 		}
 	}
@@ -246,5 +246,65 @@ func TestNewByKind(t *testing.T) {
 	}
 	if _, err := New("bogus", hash.NewMask(64)); err == nil {
 		t.Fatal("New(bogus) succeeded")
+	}
+}
+
+// physChainLen counts the records physically chained in bucket idx, in any
+// state — the traversal cost a walk of that bucket pays. Callers must be
+// quiescent.
+func physChainLen(t *Tagged, idx uint64) int {
+	n := 0
+	for cur := t.heads[idx].Load(); linkIdx(cur) != 0; {
+		r := t.rec(linkIdx(cur))
+		n++
+		cur = r.next.Load() &^ linkMark
+	}
+	return n
+}
+
+// TestTagStreamingBoundsChainDepth is the regression test for the reaping
+// contract: a workload that streams unique tags through one bucket —
+// acquire, release, never touch the tag again — parks a free record per
+// tag, and without reaping the chain would grow without bound, degrading
+// every later walk of the bucket. The walk condemns and unlinks free
+// records past reapDepth, so the physical chain must stay within
+// reapDepth + 1 records (the freshly inserted record plus the parked
+// fast-path window) at every step of the stream, and a subsequent miss
+// walk must traverse only that bounded chain.
+func TestTagStreamingBoundsChainDepth(t *testing.T) {
+	const (
+		buckets = 16
+		bucket  = uint64(3)
+		stream  = 2000
+	)
+	tab := newTagged(buckets)
+	maxPhys := 0
+	for i := 0; i < stream; i++ {
+		b := addr.Block(bucket + uint64(i)*buckets) // unique tag, always bucket 3
+		if out, _ := tab.AcquireWrite(1, b, 0); out != Granted {
+			t.Fatalf("streamed tag %d: AcquireWrite = %v", i, out)
+		}
+		tab.ReleaseWrite(1, b)
+		if n := physChainLen(tab, bucket); n > maxPhys {
+			maxPhys = n
+		}
+	}
+	if maxPhys > reapDepth+2 {
+		t.Fatalf("physical chain reached %d records under tag streaming, want <= reapDepth+2 = %d",
+			maxPhys, reapDepth+2)
+	}
+	// One more miss-walk traverses only the bounded chain: its ChainFollows
+	// delta is the physical records it passed beyond the head.
+	pre := tab.Stats().ChainFollows
+	b := addr.Block(bucket + uint64(stream)*buckets)
+	if out, _ := tab.AcquireWrite(1, b, 0); out != Granted {
+		t.Fatalf("post-stream AcquireWrite = %v", out)
+	}
+	tab.ReleaseWrite(1, b)
+	if delta := tab.Stats().ChainFollows - pre; delta > uint64(reapDepth)+2 {
+		t.Fatalf("post-stream walk traversed %d records, want <= %d", delta, reapDepth+2)
+	}
+	if n := tab.Records(); n != 0 {
+		t.Fatalf("held records after stream = %d, want 0", n)
 	}
 }

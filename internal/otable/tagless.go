@@ -61,33 +61,33 @@ func (t *Tagless) Hash() hash.Func { return t.h }
 func (t *Tagless) SlotOf(b addr.Block) uint64 { return t.h.Index(b) }
 
 // AcquireRead implements Table.
-func (t *Tagless) AcquireRead(tx TxID, b addr.Block) Outcome {
+func (t *Tagless) AcquireRead(tx TxID, b addr.Block) (Outcome, ConflictInfo) {
 	return t.acquireReadIdx(t.h.Index(b), tx)
 }
 
 // AcquireReadH implements HandleTable. The handle is the entry index plus
 // one (entries have no generations to validate — the slot itself is the
 // record), so handle-taking operations merely skip the address re-hash.
-func (t *Tagless) AcquireReadH(tx TxID, b addr.Block) (Outcome, Handle) {
+func (t *Tagless) AcquireReadH(tx TxID, b addr.Block) (Outcome, ConflictInfo, Handle) {
 	idx := t.h.Index(b)
-	out := t.acquireReadIdx(idx, tx)
+	out, ci := t.acquireReadIdx(idx, tx)
 	if out.Conflict() {
-		return out, NoHandle
+		return out, ci, NoHandle
 	}
-	return out, Handle(idx + 1)
+	return out, ci, Handle(idx + 1)
 }
 
 // AcquireWriteH implements HandleTable.
-func (t *Tagless) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, Handle) {
+func (t *Tagless) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, ConflictInfo, Handle) {
 	idx := uint64(h) - 1
 	if h == NoHandle {
 		idx = t.h.Index(b)
 	}
-	out := t.acquireWriteIdx(idx, tx, heldReads)
+	out, ci := t.acquireWriteIdx(idx, tx, heldReads)
 	if out.Conflict() {
-		return out, NoHandle
+		return out, ci, NoHandle
 	}
-	return out, Handle(idx + 1)
+	return out, ci, Handle(idx + 1)
 }
 
 // ReleaseReadH implements HandleTable.
@@ -108,8 +108,9 @@ func (t *Tagless) ReleaseWriteH(tx TxID, b addr.Block, h Handle) {
 	t.releaseWriteIdx(uint64(h)-1, tx)
 }
 
-// acquireReadIdx is AcquireRead on a precomputed entry index.
-func (t *Tagless) acquireReadIdx(idx uint64, tx TxID) Outcome {
+// acquireReadIdx is AcquireRead on a precomputed entry index. A denial
+// reports the owner read from the very entry word that decided it.
+func (t *Tagless) acquireReadIdx(idx uint64, tx TxID) (Outcome, ConflictInfo) {
 	e := &t.entries[idx]
 	for {
 		old := e.Load()
@@ -119,21 +120,21 @@ func (t *Tagless) acquireReadIdx(idx uint64, tx TxID) Outcome {
 			if e.CompareAndSwap(old, packEntry(Read, 1)) {
 				t.occ.Add(1)
 				t.stats.readAcquires.Add(1)
-				return Granted
+				return Granted, NoConflict
 			}
 		case Read:
 			if e.CompareAndSwap(old, packEntry(Read, payload+1)) {
 				t.stats.readAcquires.Add(1)
-				return Granted
+				return Granted, NoConflict
 			}
 		case Write:
 			if TxID(payload) == tx {
 				// Exclusive ownership subsumes the read.
 				t.stats.readAcquires.Add(1)
-				return AlreadyHeld
+				return AlreadyHeld, NoConflict
 			}
 			t.stats.conflicts.Add(1)
-			return ConflictWriter
+			return ConflictWriter, WriterConflict(TxID(payload))
 		}
 	}
 }
@@ -141,12 +142,14 @@ func (t *Tagless) acquireReadIdx(idx uint64, tx TxID) Outcome {
 // AcquireWrite implements Table. heldReads is the number of read shares tx
 // already holds on b's entry; if it equals the entry's full sharer count the
 // acquire is a private upgrade, otherwise foreign readers block it.
-func (t *Tagless) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) Outcome {
+func (t *Tagless) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) (Outcome, ConflictInfo) {
 	return t.acquireWriteIdx(t.h.Index(b), tx, heldReads)
 }
 
-// acquireWriteIdx is AcquireWrite on a precomputed entry index.
-func (t *Tagless) acquireWriteIdx(idx uint64, tx TxID, heldReads uint32) Outcome {
+// acquireWriteIdx is AcquireWrite on a precomputed entry index. A denial
+// reports the owning writer, or the count of foreign sharers (the entry's
+// sharer count minus the caller's own shares).
+func (t *Tagless) acquireWriteIdx(idx uint64, tx TxID, heldReads uint32) (Outcome, ConflictInfo) {
 	e := &t.entries[idx]
 	for {
 		old := e.Load()
@@ -156,7 +159,7 @@ func (t *Tagless) acquireWriteIdx(idx uint64, tx TxID, heldReads uint32) Outcome
 			if e.CompareAndSwap(old, packEntry(Write, uint32(tx))) {
 				t.occ.Add(1)
 				t.stats.writeAcquires.Add(1)
-				return Granted
+				return Granted, NoConflict
 			}
 		case Read:
 			if heldReads > payload {
@@ -168,19 +171,19 @@ func (t *Tagless) acquireWriteIdx(idx uint64, tx TxID, heldReads uint32) Outcome
 				if e.CompareAndSwap(old, packEntry(Write, uint32(tx))) {
 					t.stats.writeAcquires.Add(1)
 					t.stats.upgrades.Add(1)
-					return Upgraded
+					return Upgraded, NoConflict
 				}
 				continue
 			}
 			t.stats.conflicts.Add(1)
-			return ConflictReaders
+			return ConflictReaders, ReadersConflict(payload - heldReads)
 		case Write:
 			if TxID(payload) == tx {
 				t.stats.writeAcquires.Add(1)
-				return AlreadyHeld
+				return AlreadyHeld, NoConflict
 			}
 			t.stats.conflicts.Add(1)
-			return ConflictWriter
+			return ConflictWriter, WriterConflict(TxID(payload))
 		}
 	}
 }

@@ -13,10 +13,10 @@ func newTagless(n uint64) *Tagless { return NewTagless(hash.NewMask(n)) }
 
 func TestTaglessReadThenRead(t *testing.T) {
 	tab := newTagless(64)
-	if got := tab.AcquireRead(1, 10); got != Granted {
+	if got, _ := tab.AcquireRead(1, 10); got != Granted {
 		t.Fatalf("first read: %v", got)
 	}
-	if got := tab.AcquireRead(2, 10); got != Granted {
+	if got, _ := tab.AcquireRead(2, 10); got != Granted {
 		t.Fatalf("second reader: %v", got)
 	}
 	mode, count := tab.EntryState(10)
@@ -30,13 +30,13 @@ func TestTaglessReadThenRead(t *testing.T) {
 
 func TestTaglessWriteConflictsWithWrite(t *testing.T) {
 	tab := newTagless(64)
-	if got := tab.AcquireWrite(1, 5, 0); got != Granted {
+	if got, _ := tab.AcquireWrite(1, 5, 0); got != Granted {
 		t.Fatalf("first write: %v", got)
 	}
-	if got := tab.AcquireWrite(2, 5, 0); got != ConflictWriter {
+	if got, _ := tab.AcquireWrite(2, 5, 0); got != ConflictWriter {
 		t.Fatalf("second writer: %v, want ConflictWriter", got)
 	}
-	if got := tab.AcquireRead(2, 5); got != ConflictWriter {
+	if got, _ := tab.AcquireRead(2, 5); got != ConflictWriter {
 		t.Fatalf("reader vs writer: %v, want ConflictWriter", got)
 	}
 }
@@ -45,10 +45,10 @@ func TestTaglessFalseConflictByConstruction(t *testing.T) {
 	// Blocks 3 and 67 alias in a 64-entry mask table. Distinct data, same
 	// entry: the tagless table must (falsely) report a conflict.
 	tab := newTagless(64)
-	if got := tab.AcquireWrite(1, 3, 0); got != Granted {
+	if got, _ := tab.AcquireWrite(1, 3, 0); got != Granted {
 		t.Fatalf("write: %v", got)
 	}
-	if got := tab.AcquireWrite(2, 67, 0); got != ConflictWriter {
+	if got, _ := tab.AcquireWrite(2, 67, 0); got != ConflictWriter {
 		t.Fatalf("aliasing write: %v, want ConflictWriter (the false conflict)", got)
 	}
 }
@@ -56,15 +56,15 @@ func TestTaglessFalseConflictByConstruction(t *testing.T) {
 func TestTaglessWriterReacquires(t *testing.T) {
 	tab := newTagless(64)
 	tab.AcquireWrite(1, 5, 0)
-	if got := tab.AcquireWrite(1, 5, 0); got != AlreadyHeld {
+	if got, _ := tab.AcquireWrite(1, 5, 0); got != AlreadyHeld {
 		t.Fatalf("re-write: %v", got)
 	}
-	if got := tab.AcquireRead(1, 5); got != AlreadyHeld {
+	if got, _ := tab.AcquireRead(1, 5); got != AlreadyHeld {
 		t.Fatalf("read under own write: %v", got)
 	}
 	// An aliasing block of the same transaction is also covered (entry
 	// granularity: "exclusive access to both blocks", Figure 1).
-	if got := tab.AcquireWrite(1, 69, 0); got != AlreadyHeld {
+	if got, _ := tab.AcquireWrite(1, 69, 0); got != AlreadyHeld {
 		t.Fatalf("aliasing own write: %v", got)
 	}
 }
@@ -72,7 +72,7 @@ func TestTaglessWriterReacquires(t *testing.T) {
 func TestTaglessUpgrade(t *testing.T) {
 	tab := newTagless(64)
 	tab.AcquireRead(1, 9)
-	if got := tab.AcquireWrite(1, 9, 1); got != Upgraded {
+	if got, _ := tab.AcquireWrite(1, 9, 1); got != Upgraded {
 		t.Fatalf("upgrade: %v", got)
 	}
 	mode, owner := tab.EntryState(9)
@@ -90,7 +90,7 @@ func TestTaglessUpgradeBlockedByOtherReader(t *testing.T) {
 	tab := newTagless(64)
 	tab.AcquireRead(1, 9)
 	tab.AcquireRead(2, 9)
-	if got := tab.AcquireWrite(1, 9, 1); got != ConflictReaders {
+	if got, _ := tab.AcquireWrite(1, 9, 1); got != ConflictReaders {
 		t.Fatalf("upgrade with foreign reader: %v, want ConflictReaders", got)
 	}
 }
@@ -158,7 +158,7 @@ func TestTaglessReset(t *testing.T) {
 	if s := tab.Stats(); s.WriteAcquires != 0 || s.ReadAcquires != 0 {
 		t.Fatalf("stats after reset = %+v", s)
 	}
-	if got := tab.AcquireWrite(3, 2, 0); got != Granted {
+	if got, _ := tab.AcquireWrite(3, 2, 0); got != Granted {
 		t.Fatalf("write after reset: %v", got)
 	}
 }

@@ -220,12 +220,12 @@ func ntProbeConflicts(cfg Config, tab otable.Table, rng *xrand.Rand) bool {
 		id := otable.TxID(cfg.C + nt + 1)
 		b := addr.Block(rng.Uint64n(cfg.BlockSpace))
 		if rng.Float64() < cfg.NTWriteFraction {
-			if tab.AcquireWrite(id, b, 0).Conflict() {
+			if out, _ := tab.AcquireWrite(id, b, 0); out.Conflict() {
 				return true
 			}
 			tab.ReleaseWrite(id, b)
 		} else {
-			if tab.AcquireRead(id, b).Conflict() {
+			if out, _ := tab.AcquireRead(id, b); out.Conflict() {
 				return true
 			}
 			tab.ReleaseRead(id, b)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"tmbp/internal/otable"
 	"tmbp/internal/xrand"
 )
 
@@ -11,20 +12,25 @@ import (
 // its retry. The paper's runtime model stops at "self-abort with backoff";
 // the literature it sits in (Why TM Should Not Be Obstruction-Free, On the
 // Cost of Concurrency in TM) argues the CM policy — not the table — decides
-// whether contended workloads make progress. The policy is therefore
-// pluggable: Atomic's retry loop consults a per-thread CM at the two points
-// that matter (after a conflict abort, after a completed transaction), and
-// everything else about the runtime is policy-agnostic. Policies only ever
-// change scheduling — who waits and for how long — never what commits, so
-// serializability is identical across them (the oracle tests drive every
-// policy through identical workloads to prove it).
+// whether contended workloads make progress, and its progressive policies
+// (greedy, timestamp, karma) all hinge on knowing *which* transaction denied
+// an acquire. The ownership tables surface exactly that: every denial
+// carries an otable.ConflictInfo naming the owning writer (or the foreign
+// sharer count), extracted from the same state word the acquire linearized
+// on. The policy is pluggable: Atomic's retry loop consults a per-thread CM
+// at the two points that matter (after a conflict abort — with the
+// opponent — and after a completed transaction), and everything else about
+// the runtime is policy-agnostic. Policies only ever change scheduling —
+// who waits and for how long — never what commits, so serializability is
+// identical across them (the oracle tests drive every policy through
+// identical workloads to prove it).
 //
-// Three policies are built in:
+// Five policies are built in:
 //
 //   - backoff: randomized exponential backoff in scheduler yields, the
 //     original fixed policy. Simple and livelock-free in practice, but it
 //     waits the same way whether the system is thrashing or a conflict was
-//     a one-off.
+//     a one-off — and regardless of who the opponent is.
 //   - adaptive: the same exponential skeleton, with the cap driven by a
 //     per-thread EWMA of recent conflict outcomes. A thread whose recent
 //     history is conflict-free retries almost immediately (one-off
@@ -33,28 +39,47 @@ import (
 //     thread-local — reading it costs nothing and contends with no one.
 //   - karma: seniority by invested work. Every aborted attempt deposits the
 //     attempt's access-set size into the thread's karma account, published
-//     in its padded counter block; the aborter that holds the highest
-//     (karma, thread ID) among registered threads is the senior transaction
-//     and retries immediately, everyone else yields with the backoff
-//     skeleton. Karma resets when the transaction completes. Aborting keeps
-//     raising a loser's karma, so no transaction stays junior forever —
-//     bounded-abort progress the deterministic-schedule suite asserts.
+//     in its padded counter block; the senior of two conflicting aborters
+//     retries immediately, the junior yields with the backoff skeleton.
+//     With a conflict target the comparison is O(1) against the one
+//     opponent that matters; anonymous reader conflicts fall back to a
+//     ranking scan over the epoch-published board — an atomic pointer
+//     load, never the runtime mutex. Aborting keeps raising a loser's
+//     karma, so no transaction stays junior forever.
+//   - timestamp: the greedy policy of the Scherer/Scott and Guerraoui
+//     lineage, adapted to self-abort. A conflicted transaction draws a
+//     monotone timestamp on its first abort (lower = older = senior) and
+//     publishes it. When the denying opponent is older, the aborter waits
+//     specifically for that opponent to complete an attempt — watching its
+//     published progress counter, bounded by BackoffMax yields — because
+//     an attempt completion is exactly when the contested slot is
+//     released. When the aborter itself is older (or the opponent is
+//     anonymous/unstamped), it retries after a single yield: its seniority
+//     entitles it to the slot as soon as the junior holder finishes.
+//   - switching: abort-rate-driven policy switching. Runs the cheap fixed
+//     backoff while the thread's EWMA abort rate is low (uncontended
+//     phases pay nothing for opponent tracking) and switches to the
+//     opponent-aware timestamp policy when the rate crosses switchUp,
+//     back when it falls below switchDown — hysteresis so a workload
+//     sitting at the boundary does not chatter between modes.
 //
 // Custom policies implement CM and are installed per-runtime through
 // Config.NewCM; the built-ins are selected by name through Config.CM.
 
 // CM is the per-thread contention manager consulted by Atomic's retry
 // loop. Implementations are owned by a single thread and need no internal
-// synchronization (shared feedback state, as in karma, must synchronize on
-// its own). Aborted may block; that is the point.
+// synchronization (shared feedback state, as in karma and timestamp, must
+// synchronize on its own). Aborted may block; that is the point.
 type CM interface {
 	// Kind names the policy ("backoff", "adaptive", "karma", ...).
 	Kind() string
 	// Aborted is called after a conflict-aborted attempt, before the retry.
 	// attempt is the 1-based attempt number that just failed; footprint is
-	// the access-set size the attempt had reached when it died. The policy
-	// waits here as it sees fit.
-	Aborted(attempt, footprint int)
+	// the access-set size the attempt had reached when it died; opp names
+	// the opponent whose holding denied the fatal acquire (the owning
+	// writer's TxID, or the foreign reader count — see otable.ConflictInfo).
+	// The policy waits here as it sees fit.
+	Aborted(attempt, footprint int, opp otable.ConflictInfo)
 	// Committed is called when a transaction completes — commit or
 	// terminal non-conflict abort (user error, attempt budget) — with the
 	// final access-set size. Policies reset per-transaction state here.
@@ -62,7 +87,9 @@ type CM interface {
 }
 
 // CMKinds lists the built-in contention-management policies.
-func CMKinds() []string { return []string{"backoff", "adaptive", "karma"} }
+func CMKinds() []string {
+	return []string{"backoff", "adaptive", "karma", "timestamp", "switching"}
+}
 
 // validCM reports whether name selects a built-in policy ("" = backoff).
 func validCM(name string) bool {
@@ -90,6 +117,13 @@ func newCM(rt *Runtime, th *Thread) CM {
 		return &adaptiveCM{rng: th.rng, base: base, max: max}
 	case "karma":
 		return &karmaCM{rng: th.rng, rt: rt, ctr: th.ctr, base: base, max: max}
+	case "timestamp":
+		return &timestampCM{rng: th.rng, rt: rt, ctr: th.ctr, base: base, max: max}
+	case "switching":
+		return &switchingCM{
+			bo: backoffCM{rng: th.rng, base: base, max: max},
+			ts: timestampCM{rng: th.rng, rt: rt, ctr: th.ctr, base: base, max: max},
+		}
 	default:
 		// Config.CM was validated in New; this is unreachable.
 		panic(fmt.Sprintf("stm: unknown CM policy %q", rt.cfg.CM))
@@ -128,7 +162,9 @@ type backoffCM struct {
 
 func (c *backoffCM) Kind() string { return "backoff" }
 
-func (c *backoffCM) Aborted(attempt, _ int) { yieldBackoff(c.rng, c.base, c.max, attempt) }
+func (c *backoffCM) Aborted(attempt, _ int, _ otable.ConflictInfo) {
+	yieldBackoff(c.rng, c.base, c.max, attempt)
+}
 
 func (c *backoffCM) Committed(int) {}
 
@@ -150,7 +186,7 @@ type adaptiveCM struct {
 
 func (c *adaptiveCM) Kind() string { return "adaptive" }
 
-func (c *adaptiveCM) Aborted(attempt, _ int) {
+func (c *adaptiveCM) Aborted(attempt, _ int, _ otable.ConflictInfo) {
 	c.rate += (1 - c.rate) / (1 << adaptiveEWMAShift)
 	budget := c.base + int(c.rate*float64(c.max-c.base))
 	yieldBackoff(c.rng, c.base, budget, attempt)
@@ -160,11 +196,48 @@ func (c *adaptiveCM) Committed(int) {
 	c.rate -= c.rate / (1 << adaptiveEWMAShift)
 }
 
+// seniorYieldCap bounds the backoff of a *senior* contender: an eighth of
+// the junior budget. A senior transaction retries far sooner than anyone
+// deferring to it, but still with an exponentially growing wait — a bare
+// immediate retry would spin unboundedly against a long-running holder,
+// burning an abort per scheduler slice for nothing (the deterministic
+// suite's convoy scenario is exactly that trap).
+func seniorYieldCap(max int) int {
+	c := max / 8
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// waitForOpponent parks the caller until the opponent completes the attempt
+// it was observed in — its progress counter advances, meaning commit or
+// rollback has released every slot it held, including the contested one —
+// or the yield budget runs out (the opponent may be descheduled; a bounded
+// wait keeps the caller live regardless). oppStamp is the opponent stamp
+// the caller based its decision on: a stamp change also ends the wait,
+// since it means the observed transaction is gone.
+func waitForOpponent(opp *threadCounters, oppStamp uint64, maxYields int) {
+	done := opp.completions()
+	for i := 0; i < maxYields; i++ {
+		runtime.Gosched()
+		if opp.completions() != done || opp.stamp.Load() != oppStamp {
+			return
+		}
+	}
+}
+
 // karmaCM orders aborters by invested work. karma is the thread-local
 // account; its value is mirrored into the thread's padded counter block so
 // other threads' policies can rank themselves against it without sharing
 // any other state. Ties are broken by thread ID, so exactly one contender
 // is senior at any instant and symmetric conflicts cannot livelock.
+//
+// When the denial names a writer, seniority is decided against that one
+// opponent (the transaction whose completion actually unblocks the slot);
+// anonymous reader denials rank against every registered thread. Both
+// reads go through the runtime's epoch-published board — one atomic
+// pointer load, no mutex on the abort path.
 type karmaCM struct {
 	rng       *xrand.Rand
 	rt        *Runtime
@@ -175,11 +248,25 @@ type karmaCM struct {
 
 func (c *karmaCM) Kind() string { return "karma" }
 
-func (c *karmaCM) Aborted(attempt, footprint int) {
+func (c *karmaCM) Aborted(attempt, footprint int, opp otable.ConflictInfo) {
 	c.karma += uint64(footprint) + 1
 	c.ctr.karma.Store(c.karma)
-	if c.senior() {
-		runtime.Gosched() // give the conflicting holder one slice to finish
+	senior := false
+	if w, ok := opp.Writer(); ok {
+		if ob := c.rt.counterFor(w); ob != nil && ob != c.ctr {
+			senior = !c.loses(ob)
+		} else {
+			// The denier is not a registered thread (a foreign table user):
+			// rank against the whole board, as for anonymous readers.
+			senior = c.seniorOverall()
+		}
+	} else {
+		senior = c.seniorOverall()
+	}
+	if senior {
+		// Seniority earns a short leash, not a spin: retry on an eighth of
+		// the junior backoff budget.
+		yieldBackoff(c.rng, c.base, seniorYieldCap(c.max), attempt)
 		return
 	}
 	yieldBackoff(c.rng, c.base, c.max, attempt)
@@ -190,20 +277,126 @@ func (c *karmaCM) Committed(int) {
 	c.ctr.karma.Store(0)
 }
 
-// senior reports whether this thread holds the highest (karma, thread ID)
-// among all registered threads. Scanning the counter blocks is O(threads),
-// which only the abort path pays.
-func (c *karmaCM) senior() bool {
-	c.rt.mu.Lock()
-	counters := c.rt.counters[:len(c.rt.counters):len(c.rt.counters)]
-	c.rt.mu.Unlock()
-	for _, o := range counters {
-		if o == c.ctr {
+// loses reports whether this thread ranks below o by (karma, thread ID).
+func (c *karmaCM) loses(o *threadCounters) bool {
+	k := o.karma.Load()
+	return k > c.karma || (k == c.karma && o.id > c.ctr.id)
+}
+
+// seniorOverall reports whether this thread holds the highest (karma,
+// thread ID) among all registered threads, scanning the epoch-published
+// board. O(threads), but lock-free: the board is republished on thread
+// registration and read with one atomic load here.
+func (c *karmaCM) seniorOverall() bool {
+	b := c.rt.board.Load()
+	if b == nil {
+		return true
+	}
+	for _, o := range *b {
+		if o == nil || o == c.ctr {
 			continue
 		}
-		if k := o.karma.Load(); k > c.karma || (k == c.karma && o.id > c.ctr.id) {
+		if c.loses(o) {
 			return false
 		}
 	}
 	return true
+}
+
+// timestampCM is the greedy/timestamp policy: conflicted transactions are
+// ordered by age (a monotone stamp drawn from the runtime clock on the
+// transaction's first abort — conflict-free transactions never touch the
+// clock), and the junior side of a conflict waits specifically for its
+// senior opponent to complete an attempt. Unlike the backoff family it
+// never waits "into the void": either the one transaction whose completion
+// frees the slot is identified and watched, or the wait collapses to a
+// single yield.
+type timestampCM struct {
+	rng       *xrand.Rand
+	rt        *Runtime
+	ctr       *threadCounters
+	base, max int
+	stamp     uint64 // this transaction's age; 0 until its first abort
+}
+
+func (c *timestampCM) Kind() string { return "timestamp" }
+
+func (c *timestampCM) Aborted(attempt, _ int, opp otable.ConflictInfo) {
+	if c.stamp == 0 {
+		c.stamp = c.rt.clock.Add(1)
+		c.ctr.stamp.Store(c.stamp)
+	}
+	if c.base < 0 {
+		return // waiting disabled: decision only (benchmarks)
+	}
+	if w, ok := opp.Writer(); ok {
+		if ob := c.rt.counterFor(w); ob != nil && ob != c.ctr {
+			if os := ob.stamp.Load(); os != 0 && os < c.stamp {
+				// The opponent is senior: wait for that specific
+				// transaction to complete an attempt (releasing the
+				// contested slot), not a blind backoff.
+				waitForOpponent(ob, os, c.max)
+				return
+			}
+			// We are senior (or the opponent never conflicted, so it has
+			// no standing to be yielded to): retry on the short senior
+			// leash and take the slot at the release race.
+			yieldBackoff(c.rng, c.base, seniorYieldCap(c.max), attempt)
+			return
+		}
+	}
+	// Anonymous readers or an unregistered opponent: no one specific to
+	// wait for — fall back to the randomized backoff skeleton.
+	yieldBackoff(c.rng, c.base, c.max, attempt)
+}
+
+func (c *timestampCM) Committed(int) {
+	if c.stamp != 0 {
+		c.stamp = 0
+		c.ctr.stamp.Store(0)
+	}
+}
+
+// Switching thresholds: the EWMA abort rate above which the switching
+// policy engages opponent-aware mode, and the lower rate at which it drops
+// back to fixed backoff. The gap is hysteresis against mode chatter.
+const (
+	switchUp   = 0.5
+	switchDown = 0.125
+)
+
+// switchingCM switches between two complete policies on the thread's EWMA
+// abort rate: fixed backoff while conflicts are rare (its decision cost is
+// near zero), the opponent-aware timestamp policy while the thread is
+// thrashing (precise waits beat blind ones exactly when aborts dominate).
+// Both sub-policies are embedded by value, so switching allocates nothing.
+type switchingCM struct {
+	rate     float64
+	opponent bool // true = timestamp mode
+	bo       backoffCM
+	ts       timestampCM
+}
+
+func (c *switchingCM) Kind() string { return "switching" }
+
+func (c *switchingCM) Aborted(attempt, footprint int, opp otable.ConflictInfo) {
+	c.rate += (1 - c.rate) / (1 << adaptiveEWMAShift)
+	if !c.opponent && c.rate >= switchUp {
+		c.opponent = true
+	}
+	if c.opponent {
+		c.ts.Aborted(attempt, footprint, opp)
+	} else {
+		c.bo.Aborted(attempt, footprint, opp)
+	}
+}
+
+func (c *switchingCM) Committed(footprint int) {
+	c.rate -= c.rate / (1 << adaptiveEWMAShift)
+	if c.opponent && c.rate <= switchDown {
+		c.opponent = false
+	}
+	// The timestamp half owns published per-transaction state (the stamp);
+	// clear it on every completion regardless of the active mode.
+	c.ts.Committed(footprint)
 }

@@ -11,13 +11,16 @@ import (
 )
 
 // This file is the deterministic-schedule conflict suite for the contention
-// managers: channel-stepped two- and three-thread scenarios whose first
-// attempts are forced — by explicit rendezvous, not scheduler luck — into
-// the classic contention shapes (symmetric livelock, reader-starves-writer,
-// upgrade deadlock). Each scenario asserts the properties a CM owes the
-// runtime: every transaction commits, within a bounded number of aborts,
-// and the committed state is exactly what a serial execution produces —
-// policies may only reschedule retries, never change outcomes.
+// managers: channel-stepped multi-thread scenarios whose first attempts are
+// forced — by explicit rendezvous, not scheduler luck — into the classic
+// contention shapes (symmetric livelock, reader-starves-writer, upgrade
+// deadlock, convoy, chained conflict). Each scenario asserts the properties
+// a CM owes the runtime: every transaction commits, within a bounded number
+// of aborts, and the committed state is exactly what a serial execution
+// produces — policies may only reschedule retries, never change outcomes.
+// Every scenario runs across every built-in policy, including the
+// opponent-aware timestamp and switching policies, so the conflict-target
+// plumbing is exercised under each policy's waiting discipline.
 //
 // Stepping discipline: rendezvous channels are buffered and each side
 // signals before waiting, so the step itself cannot deadlock; and all
@@ -239,6 +242,328 @@ func TestCMUpgradeDeadlock(t *testing.T) {
 	}
 }
 
+// TestCMConvoy forces the convoy shape: one leader transaction holds a hot
+// block while several followers pile up behind it, each provably denied at
+// least once before the leader is allowed to commit. The policies differ
+// in *how* the followers wait — backoff blindly, karma by seniority,
+// timestamp by watching the leader's completion counter — but all must
+// drain the convoy promptly once the leader releases, with every increment
+// intact and aborts bounded.
+func TestCMConvoy(t *testing.T) {
+	const followers = 3
+	for _, kind := range otable.Kinds() {
+		for _, policy := range CMKinds() {
+			t.Run(kind+"/"+policy, func(t *testing.T) {
+				t.Parallel()
+				rt := newCMRuntime(t, kind, policy)
+				mem := rt.Memory()
+				a := mem.WordAddr(0)
+				held := make(chan struct{}, 1)
+				release := make(chan struct{})
+				errs := make([]error, followers+1)
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() { // leader: acquires first, holds until released
+					defer wg.Done()
+					th := rt.NewThread()
+					att := 0
+					errs[0] = th.Atomic(func(tx *Tx) error {
+						att++
+						tx.Write(a, tx.Read(a)+1)
+						if att == 1 {
+							held <- struct{}{}
+							<-release
+						}
+						return nil
+					})
+				}()
+				<-held // the leader owns the block: every follower must collide
+				for i := 0; i < followers; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						th := rt.NewThread()
+						errs[1+i] = th.Atomic(func(tx *Tx) error {
+							tx.Write(a, tx.Read(a)+1)
+							return nil
+						})
+					}(i)
+				}
+				// Keep the leader parked until each follower has provably hit
+				// the denial, then let the convoy drain.
+				for i := 0; rt.Stats().Aborts < followers; i++ {
+					if i > 1_000_000 {
+						t.Fatal("followers never piled up behind the leader")
+					}
+					runtime.Gosched()
+				}
+				close(release)
+				wg.Wait()
+				checkScenario(t, rt, errs, map[int]uint64{0: followers + 1})
+			})
+		}
+	}
+}
+
+// TestCMChainedConflict builds the transitive blocking chain A ← B ← C: A
+// holds block X; B holds block Y and needs X; C needs Y. The rendezvous
+// guarantees B is denied on X while it holds Y (so B's abort releases Y —
+// the chain's only way forward), and C arrives at Y while B is parked on
+// the chain head. Opponent-aware policies see the actual chain: C's denial
+// names B, B's denial names A. Everyone must commit with aborts bounded
+// once A releases.
+func TestCMChainedConflict(t *testing.T) {
+	for _, kind := range []string{"tagged", "sharded"} {
+		for _, policy := range CMKinds() {
+			t.Run(kind+"/"+policy, func(t *testing.T) {
+				t.Parallel()
+				rt := newCMRuntime(t, kind, policy)
+				mem := rt.Memory()
+				// Words 0 and 8 sit in distinct 64-byte blocks: X and Y.
+				aX, aY := mem.WordAddr(0), mem.WordAddr(8)
+				aHolds := make(chan struct{}, 1)
+				bHoldsY := make(chan struct{}, 1)
+				cArrived := make(chan struct{}, 1)
+				releaseA := make(chan struct{})
+				errs := make([]error, 3)
+				var wg sync.WaitGroup
+				wg.Add(3)
+				go func() { // A: holds X until released
+					defer wg.Done()
+					th := rt.NewThread()
+					att := 0
+					errs[0] = th.Atomic(func(tx *Tx) error {
+						att++
+						tx.Write(aX, tx.Read(aX)+1)
+						if att == 1 {
+							aHolds <- struct{}{}
+							<-releaseA
+						}
+						return nil
+					})
+				}()
+				go func() { // B: holds Y, then needs X
+					defer wg.Done()
+					<-aHolds
+					th := rt.NewThread()
+					att := 0
+					errs[1] = th.Atomic(func(tx *Tx) error {
+						att++
+						tx.Write(aY, tx.Read(aY)+1)
+						if att == 1 {
+							bHoldsY <- struct{}{}
+							<-cArrived
+							// Give C's collision on Y a window while we still
+							// hold it, so the B ← C edge materializes.
+							for i := 0; i < 100; i++ {
+								runtime.Gosched()
+							}
+						}
+						tx.Write(aX, tx.Read(aX)+1) // denied while A holds X
+						return nil
+					})
+				}()
+				go func() { // C: needs Y, which B holds
+					defer wg.Done()
+					<-bHoldsY
+					th := rt.NewThread()
+					att := 0
+					errs[2] = th.Atomic(func(tx *Tx) error {
+						att++
+						if att == 1 {
+							cArrived <- struct{}{}
+						}
+						tx.Write(aY, tx.Read(aY)+1)
+						return nil
+					})
+				}()
+				// B re-collides with A's hold on every retry, so aborts keep
+				// accumulating until A is released; two is proof the chain
+				// head actually blocked.
+				for i := 0; rt.Stats().Aborts < 2; i++ {
+					if i > 1_000_000 {
+						t.Fatal("the chain never blocked on A")
+					}
+					runtime.Gosched()
+				}
+				close(releaseA)
+				wg.Wait()
+				// X: incremented by A and B. Y: incremented by B and C.
+				checkScenario(t, rt, errs, map[int]uint64{0: 2, 8: 2})
+			})
+		}
+	}
+}
+
+// TestCMOpponentDelivered pins the tentpole plumbing end to end: a denied
+// acquire's ConflictInfo — extracted at the table's denying CAS — must
+// arrive at the CM's Aborted callback naming the exact opponent. A custom
+// recording policy observes every abort of a thread hammering a block the
+// other thread verifiably holds with write ownership.
+func TestCMOpponentDelivered(t *testing.T) {
+	for _, kind := range otable.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			tab, err := otable.New(kind, hash.NewMask(256))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cms := map[*Thread]*countingCM{}
+			rt, err := New(Config{
+				Table:  tab,
+				Memory: NewMemory(64),
+				// Unlimited attempts: the recording policy never waits, so
+				// the contender may retry far more often than a real policy
+				// would while the holder is parked.
+				NewCM: func(th *Thread) CM {
+					c := &countingCM{}
+					cms[th] = c
+					return c
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			holder := rt.NewThread()
+			contender := rt.NewThread()
+			a := rt.Memory().WordAddr(0)
+			held := make(chan struct{}, 1)
+			release := make(chan struct{})
+			errs := make([]error, 2)
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				att := 0
+				errs[0] = holder.Atomic(func(tx *Tx) error {
+					att++
+					tx.Write(a, tx.Read(a)+1)
+					if att == 1 {
+						held <- struct{}{}
+						<-release
+					}
+					return nil
+				})
+			}()
+			go func() {
+				defer wg.Done()
+				<-held
+				errs[1] = contender.Atomic(func(tx *Tx) error {
+					tx.Write(a, tx.Read(a)+1)
+					return nil
+				})
+			}()
+			for i := 0; rt.Stats().Aborts == 0; i++ {
+				if i > 1_000_000 {
+					t.Fatal("contender never conflicted with the held block")
+				}
+				runtime.Gosched()
+			}
+			close(release)
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("thread %d: %v", i, err)
+				}
+			}
+			c := cms[contender]
+			if c.aborted == 0 || len(c.opponents) != c.aborted {
+				t.Fatalf("recording CM saw %d aborts, %d opponents", c.aborted, len(c.opponents))
+			}
+			for i, opp := range c.opponents {
+				if w, ok := opp.Writer(); !ok || w != holder.ID() {
+					t.Fatalf("abort %d delivered opponent %v, want writer tx %d", i, opp, holder.ID())
+				}
+			}
+		})
+	}
+}
+
+// TestCMTimestampStamps checks the greedy/timestamp policy's bookkeeping
+// directly: stamps are drawn lazily (a conflict-free transaction never
+// stamps), published monotonically (the first thread to conflict is the
+// senior), and cleared on completion.
+func TestCMTimestampStamps(t *testing.T) {
+	tab := otable.NewTagged(hash.NewMask(64))
+	rt, err := New(Config{Table: tab, Memory: NewMemory(8), CM: "timestamp", BackoffBase: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th1, th2 := rt.NewThread(), rt.NewThread()
+	if s := th1.ctr.stamp.Load(); s != 0 {
+		t.Fatalf("fresh thread published stamp %d", s)
+	}
+	// th2 conflicts first: it becomes the elder.
+	th2.CM().Aborted(1, 4, otable.WriterConflict(th1.ID()))
+	s2 := th2.ctr.stamp.Load()
+	if s2 == 0 {
+		t.Fatal("aborted thread did not publish a stamp")
+	}
+	th1.CM().Aborted(1, 4, otable.WriterConflict(th2.ID()))
+	s1 := th1.ctr.stamp.Load()
+	if s1 <= s2 {
+		t.Fatalf("later conflict drew stamp %d <= elder's %d", s1, s2)
+	}
+	// Repeat aborts of the same transaction keep the stamp (age is fixed
+	// at first conflict).
+	th1.CM().Aborted(2, 4, otable.WriterConflict(th2.ID()))
+	if got := th1.ctr.stamp.Load(); got != s1 {
+		t.Fatalf("stamp changed across retries: %d -> %d", s1, got)
+	}
+	th1.CM().Committed(4)
+	th2.CM().Committed(4)
+	if th1.ctr.stamp.Load() != 0 || th2.ctr.stamp.Load() != 0 {
+		t.Fatal("completion did not clear published stamps")
+	}
+}
+
+// TestCMSwitchingModes drives the switching policy's EWMA across both
+// thresholds and asserts the hysteresis: repeated aborts engage
+// opponent-aware mode at switchUp, and it takes a run of clean commits to
+// fall back below switchDown.
+func TestCMSwitchingModes(t *testing.T) {
+	tab := otable.NewTagged(hash.NewMask(64))
+	rt, err := New(Config{Table: tab, Memory: NewMemory(8), CM: "switching", BackoffBase: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.NewThread()
+	sc, ok := th.CM().(*switchingCM)
+	if !ok {
+		t.Fatalf("CM %q is not the switching policy", th.CM().Kind())
+	}
+	if sc.opponent {
+		t.Fatal("switching policy started in opponent mode")
+	}
+	opp := otable.WriterConflict(otable.TxID(999))
+	flipped := -1
+	for i := 0; i < 32 && flipped < 0; i++ {
+		sc.Aborted(i+1, 4, opp)
+		if sc.opponent {
+			flipped = i + 1
+		}
+	}
+	if flipped < 0 {
+		t.Fatal("sustained aborts never engaged opponent-aware mode")
+	}
+	if flipped < 2 {
+		t.Fatalf("opponent mode engaged after %d abort(s): no hysteresis", flipped)
+	}
+	back := -1
+	for i := 0; i < 64 && back < 0; i++ {
+		sc.Committed(4)
+		if !sc.opponent {
+			back = i + 1
+		}
+	}
+	if back < 0 {
+		t.Fatal("sustained commits never restored backoff mode")
+	}
+	if back < 2 {
+		t.Fatalf("backoff mode restored after %d commit(s): no hysteresis", back)
+	}
+}
+
 // TestCMConfigValidation rejects unknown policy names and accepts every
 // built-in (plus the empty default).
 func TestCMConfigValidation(t *testing.T) {
@@ -261,14 +586,20 @@ func TestCMConfigValidation(t *testing.T) {
 	}
 }
 
-// countingCM is a custom policy recording its callbacks.
+// countingCM is a custom policy recording its callbacks and the opponents
+// they were handed.
 type countingCM struct {
 	aborted, committed int
+	opponents          []otable.ConflictInfo
 }
 
-func (c *countingCM) Kind() string     { return "counting" }
-func (c *countingCM) Aborted(_, _ int) { c.aborted++ }
-func (c *countingCM) Committed(_ int)  { c.committed++ }
+func (c *countingCM) Kind() string { return "counting" }
+func (c *countingCM) Aborted(_, _ int, opp otable.ConflictInfo) {
+	c.aborted++
+	c.opponents = append(c.opponents, opp)
+	runtime.Gosched() // let the opponent run; this policy only records
+}
+func (c *countingCM) Committed(_ int) { c.committed++ }
 
 // TestCustomCMHook installs a user policy via Config.NewCM and checks it
 // observes commits.

@@ -14,8 +14,12 @@
 // table slots: permissions are acquired before data access and held until
 // commit or abort, which yields serializable transactions. Contention
 // management is self-abort with a pluggable between-retry policy — fixed
-// exponential backoff, abort-rate-adaptive backoff, or karma seniority —
-// selected by Config.CM (see the CM interface in cm.go). Policies only
+// exponential backoff, abort-rate-adaptive backoff, karma seniority,
+// greedy/timestamp opponent waiting, or abort-rate-driven switching —
+// selected by Config.CM (see the CM interface in cm.go). Denied acquires
+// report the denying opponent (otable.ConflictInfo), which the runtime
+// hands to the policy's Aborted callback so opponent-aware policies can
+// wait on the specific transaction that blocked them. Policies only
 // reschedule retries; they never change what commits.
 //
 // # The unified per-thread log
@@ -143,8 +147,11 @@ type Config struct {
 	// it must be < 1.
 	FuzzYield float64
 	// CM selects the contention-management policy by name: "backoff"
-	// (default), "adaptive", or "karma". See the CM interface. All
-	// policies draw their waiting bounds from BackoffBase/BackoffMax.
+	// (default), "adaptive", "karma", "timestamp", or "switching". See the
+	// CM interface. All policies draw their waiting bounds from
+	// BackoffBase/BackoffMax (BackoffBase = -1 disables all waiting,
+	// including the opponent-completion waits of the opponent-aware
+	// policies).
 	CM string
 	// NewCM, when non-nil, overrides CM with a custom per-thread policy
 	// constructor, called once from NewThread for each thread.
@@ -167,9 +174,31 @@ var ErrTooManyAttempts = errors.New("stm: transaction exceeded maximum attempts"
 type Runtime struct {
 	cfg    Config
 	nextID atomic.Uint32
+	// clock is the logical timestamp source of the greedy/timestamp CM
+	// policies: each conflicted transaction draws one monotone stamp, and
+	// lower stamp = older = senior. Drawn lazily (on a transaction's first
+	// abort), so conflict-free execution never touches it.
+	clock atomic.Uint64
 
-	mu       sync.Mutex        // guards counters (append in NewThread, snapshot in Stats)
-	counters []*threadCounters // one block per registered thread
+	mu sync.Mutex // serializes board republication (NewThread)
+	// board is the sole thread registry: the epoch-published slice of
+	// counter blocks indexed by TxID-1. NewThread copies, extends, and
+	// republishes it under mu; readers — Stats aggregation, the CM
+	// policies resolving a conflict target to its opponent's published
+	// karma/stamp/progress, and the karma seniority scan — take one
+	// atomic pointer load and never the mutex.
+	board atomic.Pointer[[]*threadCounters]
+}
+
+// counterFor resolves a transaction ID to its thread's counter block via
+// the published board, lock-free. It returns nil for IDs no registered
+// thread owns (e.g. foreign table users).
+func (rt *Runtime) counterFor(id otable.TxID) *threadCounters {
+	b := rt.board.Load()
+	if b == nil || id == 0 || uint64(id) > uint64(len(*b)) {
+		return nil
+	}
+	return (*b)[id-1]
 }
 
 // threadCounters is one thread's slice of the runtime statistics. Each block
@@ -177,15 +206,27 @@ type Runtime struct {
 // counters ever share a line and the increments on the commit path stay
 // core-local. The block doubles as the thread's public contention-management
 // face: karma is the published seniority account the karma policy ranks
-// threads by (zero under every other policy).
+// threads by, stamp is the transaction timestamp the greedy/timestamp
+// policy orders opponents by, and commits+aborts serve as a progress
+// counter an opponent-aware policy can watch to detect "the transaction
+// that denied me has completed an attempt (and so released its slots)".
+// Fields unused by the active policy stay zero.
 type threadCounters struct {
 	commits atomic.Uint64
 	aborts  atomic.Uint64
 	ntReads atomic.Uint64 // strong-isolation non-transactional probes
 	ntConfl atomic.Uint64 // strong-isolation probes denied by a transaction
 	karma   atomic.Uint64 // published karma account (karma CM policy only)
-	id      otable.TxID   // owning thread, for deterministic karma tie-breaks
-	_       [128 - 5*8 - 4]byte
+	stamp   atomic.Uint64 // published transaction timestamp (timestamp CM; 0 = unstamped)
+	id      otable.TxID   // owning thread, for deterministic seniority tie-breaks
+	_       [128 - 6*8 - 4]byte
+}
+
+// completions reports how many attempts (commits or aborts) the thread has
+// finished — the progress signal opponent-aware CM waits watch, because
+// every completed attempt has released all its ownership-table slots.
+func (c *threadCounters) completions() uint64 {
+	return c.commits.Load() + c.aborts.Load()
 }
 
 // New validates cfg and returns a Runtime.
@@ -231,13 +272,17 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the runtime counters, aggregated over all
-// threads ever registered.
+// threads ever registered (read lock-free from the published board).
 func (rt *Runtime) Stats() Stats {
-	rt.mu.Lock()
-	counters := rt.counters[:len(rt.counters):len(rt.counters)]
-	rt.mu.Unlock()
 	var s Stats
-	for _, c := range counters {
+	b := rt.board.Load()
+	if b == nil {
+		return s
+	}
+	for _, c := range *b {
+		if c == nil {
+			continue // registration hole: a higher ID published first
+		}
 		s.Commits += c.commits.Load()
 		s.Aborts += c.aborts.Load()
 		s.NTProbes += c.ntReads.Load()
@@ -266,7 +311,23 @@ func (rt *Runtime) NewThread() *Thread {
 	id := otable.TxID(rt.nextID.Add(1))
 	ctr := &threadCounters{id: id}
 	rt.mu.Lock()
-	rt.counters = append(rt.counters, ctr)
+	// Republish the board with the new block (copy-on-write: concurrent
+	// lock-free readers keep the old epoch's slice). IDs are sequential,
+	// but registration order is not — concurrent NewThreads may publish out
+	// of ID order — so the board is sized to the largest ID seen and may
+	// hold transient nil holes readers must skip.
+	var old []*threadCounters
+	if p := rt.board.Load(); p != nil {
+		old = *p
+	}
+	n := len(old)
+	if int(id) > n {
+		n = int(id)
+	}
+	board := make([]*threadCounters, n)
+	copy(board, old)
+	board[id-1] = ctr
+	rt.board.Store(&board)
 	rt.mu.Unlock()
 	slotID := false
 	if bs, ok := rt.cfg.Table.(otable.BlockSlotted); ok {
@@ -310,8 +371,9 @@ type Thread struct {
 	slotID   bool // table slots are blocks: no cross-chunk slot aliasing
 	desc     txn.Desc
 	rng      *xrand.Rand
-	cm       CM  // contention manager consulted between attempts
-	lastFP   int // access-set size of the last finished attempt
+	cm       CM                  // contention manager consulted between attempts
+	lastFP   int                 // access-set size of the last finished attempt
+	opp      otable.ConflictInfo // opponent of the conflict that killed the last attempt
 	tx       Tx
 }
 
@@ -328,8 +390,10 @@ type conflictSignal struct{}
 
 var conflictSentinel = &conflictSignal{}
 
-// conflict aborts the current attempt.
-func (th *Thread) conflict() {
+// conflict aborts the current attempt, recording the denying opponent for
+// the contention manager's Aborted callback.
+func (th *Thread) conflict(ci otable.ConflictInfo) {
+	th.opp = ci
 	panic(conflictSentinel)
 }
 
@@ -364,7 +428,7 @@ func (th *Thread) Atomic(fn func(tx *Tx) error) error {
 			th.cm.Committed(th.lastFP)
 			return fmt.Errorf("%w (%d attempts)", ErrTooManyAttempts, th.desc.Attempts)
 		}
-		th.cm.Aborted(th.desc.Attempts, th.lastFP)
+		th.cm.Aborted(th.desc.Attempts, th.lastFP, th.opp)
 	}
 }
 
@@ -545,20 +609,22 @@ func (tx *Tx) WriteBlock(b addr.Block) {
 
 // tabAcquireRead requests read permission, through the handle-issuing face
 // when the table has one.
-func (th *Thread) tabAcquireRead(chunk addr.Block) (otable.Outcome, otable.Handle) {
+func (th *Thread) tabAcquireRead(chunk addr.Block) (otable.Outcome, otable.ConflictInfo, otable.Handle) {
 	if th.ht != nil {
 		return th.ht.AcquireReadH(th.id, chunk)
 	}
-	return th.tab.AcquireRead(th.id, chunk), otable.NoHandle
+	out, ci := th.tab.AcquireRead(th.id, chunk)
+	return out, ci, otable.NoHandle
 }
 
 // tabAcquireWrite requests write permission; h is the caller's handle for
 // an already-held read share on the slot (NoHandle when none).
-func (th *Thread) tabAcquireWrite(chunk addr.Block, heldReads uint32, h otable.Handle) (otable.Outcome, otable.Handle) {
+func (th *Thread) tabAcquireWrite(chunk addr.Block, heldReads uint32, h otable.Handle) (otable.Outcome, otable.ConflictInfo, otable.Handle) {
 	if th.ht != nil {
 		return th.ht.AcquireWriteH(th.id, chunk, heldReads, h)
 	}
-	return th.tab.AcquireWrite(th.id, chunk, heldReads), otable.NoHandle
+	out, ci := th.tab.AcquireWrite(th.id, chunk, heldReads)
+	return out, ci, otable.NoHandle
 }
 
 // acquireReadChunk acquires read permission for a chunk with no access-set
@@ -578,9 +644,10 @@ func (th *Thread) acquireReadChunk(chunk addr.Block) *txn.Access {
 	var out otable.Outcome
 	var hnd otable.Handle
 	if !covered {
-		out, hnd = th.tabAcquireRead(chunk)
+		var ci otable.ConflictInfo
+		out, ci, hnd = th.tabAcquireRead(chunk)
 		if out.Conflict() {
-			th.conflict()
+			th.conflict(ci)
 		}
 	}
 	e := set.Insert(chunk)
@@ -610,9 +677,9 @@ func (th *Thread) acquireWriteChunk(chunk addr.Block) *txn.Access {
 				// The slot is held with our read share: a private upgrade.
 				// The owner entry's handle names the same slot, so it
 				// survives the upgrade unchanged.
-				out, _ := th.tabAcquireWrite(chunk, 1, otable.Handle(owner.Hnd))
+				out, ci, _ := th.tabAcquireWrite(chunk, 1, otable.Handle(owner.Hnd))
 				if out.Conflict() {
-					th.conflict()
+					th.conflict(ci)
 				}
 				owner.Perm = owner.Perm&^txn.SlotRead | txn.SlotWrite
 				owner.Rel = chunk
@@ -623,9 +690,9 @@ func (th *Thread) acquireWriteChunk(chunk addr.Block) *txn.Access {
 			return e
 		}
 	}
-	out, hnd := th.tabAcquireWrite(chunk, 0, otable.NoHandle)
+	out, ci, hnd := th.tabAcquireWrite(chunk, 0, otable.NoHandle)
 	if out.Conflict() {
-		th.conflict()
+		th.conflict(ci)
 	}
 	e := set.Insert(chunk)
 	e.Slot = slot
@@ -653,9 +720,9 @@ func (th *Thread) upgradeWriteChunk(e *txn.Access) {
 			held = 1
 			h = otable.Handle(e.Hnd)
 		}
-		out, hnd := th.tabAcquireWrite(e.Chunk, held, h)
+		out, ci, hnd := th.tabAcquireWrite(e.Chunk, held, h)
 		if out.Conflict() {
-			th.conflict()
+			th.conflict(ci)
 		}
 		e.Perm = e.Perm&^txn.SlotRead | txn.PermWrite
 		if out != otable.AlreadyHeld {
@@ -668,9 +735,9 @@ func (th *Thread) upgradeWriteChunk(e *txn.Access) {
 	if oi := set.FindSlotOwner(e.Slot); oi >= 0 {
 		owner := set.At(oi)
 		if owner.Perm&txn.SlotWrite == 0 {
-			out, _ := th.tabAcquireWrite(e.Chunk, 1, otable.Handle(owner.Hnd))
+			out, ci, _ := th.tabAcquireWrite(e.Chunk, 1, otable.Handle(owner.Hnd))
 			if out.Conflict() {
-				th.conflict()
+				th.conflict(ci)
 			}
 			// The obligation stays with the first-touch owner entry so
 			// release order matches first-acquire order; the representative
@@ -683,9 +750,9 @@ func (th *Thread) upgradeWriteChunk(e *txn.Access) {
 	}
 	// No owner on record: covering permission was attributed to us by the
 	// table without an obligation; acquire directly.
-	out, hnd := th.tabAcquireWrite(e.Chunk, 0, otable.NoHandle)
+	out, ci, hnd := th.tabAcquireWrite(e.Chunk, 0, otable.NoHandle)
 	if out.Conflict() {
-		th.conflict()
+		th.conflict(ci)
 	}
 	e.Perm |= txn.PermWrite
 	if out == otable.Granted {
@@ -716,10 +783,10 @@ func (th *Thread) LoadNT(a addr.Addr) (uint64, error) {
 	}
 	th.ctr.ntReads.Add(1)
 	chunk := th.rt.cfg.Granularity.chunkOf(a)
-	out, hnd := th.tabAcquireRead(chunk)
+	out, ci, hnd := th.tabAcquireRead(chunk)
 	if out.Conflict() {
 		th.ctr.ntConfl.Add(1)
-		return 0, fmt.Errorf("stm: non-transactional read of %v denied: %v", a, out)
+		return 0, fmt.Errorf("stm: non-transactional read of %v denied: %v (%v)", a, out, ci)
 	}
 	v := mem.load(a)
 	if out == otable.Granted {
@@ -749,10 +816,10 @@ func (th *Thread) StoreNT(a addr.Addr, v uint64) error {
 	}
 	th.ctr.ntReads.Add(1)
 	chunk := th.rt.cfg.Granularity.chunkOf(a)
-	out, hnd := th.tabAcquireWrite(chunk, 0, otable.NoHandle)
+	out, ci, hnd := th.tabAcquireWrite(chunk, 0, otable.NoHandle)
 	if out.Conflict() {
 		th.ctr.ntConfl.Add(1)
-		return fmt.Errorf("stm: non-transactional write of %v denied: %v", a, out)
+		return fmt.Errorf("stm: non-transactional write of %v denied: %v (%v)", a, out, ci)
 	}
 	mem.store(a, v)
 	if out == otable.Granted {

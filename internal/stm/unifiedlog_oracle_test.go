@@ -42,16 +42,16 @@ func (r *recTable) Occupied() uint64           { return r.inner.Occupied() }
 func (r *recTable) Stats() otable.Stats        { return r.inner.Stats() }
 func (r *recTable) Reset()                     { r.inner.Reset() }
 
-func (r *recTable) AcquireRead(tx otable.TxID, b addr.Block) otable.Outcome {
-	out := r.inner.AcquireRead(tx, b)
+func (r *recTable) AcquireRead(tx otable.TxID, b addr.Block) (otable.Outcome, otable.ConflictInfo) {
+	out, ci := r.inner.AcquireRead(tx, b)
 	r.log = append(r.log, fmt.Sprintf("AR %d -> %v", b, out))
-	return out
+	return out, ci
 }
 
-func (r *recTable) AcquireWrite(tx otable.TxID, b addr.Block, heldReads uint32) otable.Outcome {
-	out := r.inner.AcquireWrite(tx, b, heldReads)
+func (r *recTable) AcquireWrite(tx otable.TxID, b addr.Block, heldReads uint32) (otable.Outcome, otable.ConflictInfo) {
+	out, ci := r.inner.AcquireWrite(tx, b, heldReads)
 	r.log = append(r.log, fmt.Sprintf("AW %d held=%d -> %v", b, heldReads, out))
-	return out
+	return out, ci
 }
 
 func (r *recTable) ReleaseRead(tx otable.TxID, b addr.Block) {
@@ -79,16 +79,16 @@ type recTableH struct{ recTable }
 
 func (r *recTableH) ht() otable.HandleTable { return r.inner.(otable.HandleTable) }
 
-func (r *recTableH) AcquireReadH(tx otable.TxID, b addr.Block) (otable.Outcome, otable.Handle) {
-	out, h := r.ht().AcquireReadH(tx, b)
+func (r *recTableH) AcquireReadH(tx otable.TxID, b addr.Block) (otable.Outcome, otable.ConflictInfo, otable.Handle) {
+	out, ci, h := r.ht().AcquireReadH(tx, b)
 	r.log = append(r.log, fmt.Sprintf("AR %d -> %v", b, out))
-	return out, h
+	return out, ci, h
 }
 
-func (r *recTableH) AcquireWriteH(tx otable.TxID, b addr.Block, heldReads uint32, h otable.Handle) (otable.Outcome, otable.Handle) {
-	out, nh := r.ht().AcquireWriteH(tx, b, heldReads, h)
+func (r *recTableH) AcquireWriteH(tx otable.TxID, b addr.Block, heldReads uint32, h otable.Handle) (otable.Outcome, otable.ConflictInfo, otable.Handle) {
+	out, ci, nh := r.ht().AcquireWriteH(tx, b, heldReads, h)
 	r.log = append(r.log, fmt.Sprintf("AW %d held=%d -> %v", b, heldReads, out))
-	return out, nh
+	return out, ci, nh
 }
 
 func (r *recTableH) ReleaseReadH(tx otable.TxID, b addr.Block, h otable.Handle) {

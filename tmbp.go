@@ -14,12 +14,15 @@
 //     paper: power-of-two independent tagged sub-tables selected by the
 //     high hash bits, for multi-core isolation);
 //   - a complete STM runtime (begin/read/write/commit/abort, redo logging,
-//     pluggable contention management — fixed backoff, abort-rate-adaptive
-//     backoff, or karma seniority — and weak/strong isolation) whose
+//     pluggable contention management, and weak/strong isolation) whose
 //     per-thread bookkeeping is a single open-addressed access set: one
 //     probe per transactional access, zero heap allocations in steady
 //     state, and commit-time release by record handle with no table
-//     re-walk;
+//     re-walk. Denied acquires name the denying opponent (ConflictInfo),
+//     so the contention managers — fixed backoff, abort-rate-adaptive
+//     backoff, lock-free karma seniority, greedy/timestamp opponent
+//     waiting, and abort-rate-driven switching — can wait on the specific
+//     transaction that blocked them;
 //   - the analytical model (conflict likelihood ∝ C(C−1)(1+2α)W²/2N) and
 //     its birthday-paradox underpinnings;
 //   - simulators and synthetic workloads reproducing Figures 2-6.
@@ -111,8 +114,13 @@ const (
 // install a custom one via STMConfig.NewCM.
 type CM = stm.CM
 
+// ConflictInfo names the opponent that denied an ownership acquire (the
+// owning writer's TxID, or the foreign reader count); it is delivered to
+// CM policies on every conflict abort.
+type ConflictInfo = otable.ConflictInfo
+
 // CMKinds lists the built-in contention-management policies ("backoff",
-// "adaptive", "karma").
+// "adaptive", "karma", "timestamp", "switching").
 func CMKinds() []string { return stm.CMKinds() }
 
 // ErrTooManyAttempts is returned by Thread.Atomic when the retry budget is
