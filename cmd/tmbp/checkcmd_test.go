@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureErr is capture's error-tolerant twin for subcommands that are
+// expected to fail: it returns both the stdout text and run's error.
+func captureErr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errc := make(chan error, 1)
+	go func() { errc <- fn() }()
+	runErr := <-errc
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+// writeTrace drops a trace file with the given lines into a temp dir.
+func writeTrace(t *testing.T, name string, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCheckAcceptsOpaqueTrace(t *testing.T) {
+	path := writeTrace(t, "good.trace",
+		`{"i":0,"k":"B","t":1,"n":1}`,
+		`{"i":1,"k":"R","t":1,"n":1,"w":0,"v":0}`,
+		`{"i":2,"k":"W","t":1,"n":1,"w":0,"v":1}`,
+		`{"i":3,"k":"C","t":1,"n":1}`,
+		`{"i":4,"k":"B","t":2,"n":1}`,
+		`{"i":5,"k":"R","t":2,"n":1,"w":0,"v":1}`,
+		`{"i":6,"k":"C","t":2,"n":1}`,
+	)
+	out := capture(t, func() error { return run("check", []string{path}) })
+	if !strings.Contains(out, "ok   "+path) || !strings.Contains(out, "2 attempts (2 committed)") {
+		t.Fatalf("unexpected check output:\n%s", out)
+	}
+}
+
+func TestRunCheckRejectsNonOpaqueTrace(t *testing.T) {
+	// T2 reads a value T1 wrote but then aborted: no witness order exists.
+	path := writeTrace(t, "bad.trace",
+		`{"i":0,"k":"B","t":1,"n":1}`,
+		`{"i":1,"k":"W","t":1,"n":1,"w":0,"v":42}`,
+		`{"i":2,"k":"B","t":2,"n":1}`,
+		`{"i":3,"k":"R","t":2,"n":1,"w":0,"v":42}`,
+		`{"i":4,"k":"A","t":1,"n":1}`,
+		`{"i":5,"k":"C","t":2,"n":1}`,
+	)
+	out, err := captureErr(t, func() error { return run("check", []string{path}) })
+	if err == nil {
+		t.Fatalf("non-opaque trace accepted:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "1 of 1 trace(s) failed") {
+		t.Fatalf("error %q does not count the failure", err)
+	}
+	if !strings.Contains(out, "FAIL "+path) || !strings.Contains(out, "inconsistent-read") {
+		t.Fatalf("failure output missing counterexample:\n%s", out)
+	}
+}
+
+func TestRunCheckRejectsMalformedTrace(t *testing.T) {
+	path := writeTrace(t, "mangled.trace", `{"i":0,"k":"B","t":1,"n":1}`, "not json at all")
+	out, err := captureErr(t, func() error { return run("check", []string{path}) })
+	if err == nil {
+		t.Fatalf("malformed trace accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "malformed trace") || !strings.Contains(out, "line 2") {
+		t.Fatalf("failure output does not locate the bad line:\n%s", out)
+	}
+}
+
+func TestRunCheckRejectsUnclosedAttempt(t *testing.T) {
+	path := writeTrace(t, "open.trace", `{"i":0,"k":"B","t":1,"n":1}`)
+	out, err := captureErr(t, func() error { return run("check", []string{path}) })
+	if err == nil {
+		t.Fatalf("non-quiescent trace accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "still open") {
+		t.Fatalf("failure output does not name the open attempt:\n%s", out)
+	}
+}
+
+func TestRunCheckMissingFile(t *testing.T) {
+	if _, err := captureErr(t, func() error {
+		return run("check", []string{filepath.Join(t.TempDir(), "absent.trace")})
+	}); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestRunCheckNoArgs(t *testing.T) {
+	if _, err := captureErr(t, func() error { return run("check", nil) }); err == nil {
+		t.Fatal("check with no files accepted")
+	}
+}
+
+func TestRunCheckQuietKeepsFailures(t *testing.T) {
+	good := writeTrace(t, "good.trace",
+		`{"i":0,"k":"B","t":1,"n":1}`,
+		`{"i":1,"k":"C","t":1,"n":1}`,
+	)
+	bad := writeTrace(t, "bad.trace",
+		`{"i":0,"k":"B","t":1,"n":1}`,
+		`{"i":1,"k":"R","t":1,"n":1,"w":0,"v":5}`,
+		`{"i":2,"k":"C","t":1,"n":1}`,
+	)
+	out, err := captureErr(t, func() error { return run("check", []string{"-q", good, bad}) })
+	if err == nil {
+		t.Fatal("quiet mode swallowed the failure")
+	}
+	if strings.Contains(out, "ok   ") {
+		t.Fatalf("-q still printed passing traces:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL "+bad) {
+		t.Fatalf("-q suppressed the failure:\n%s", out)
+	}
+}

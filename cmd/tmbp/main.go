@@ -21,6 +21,7 @@
 //	        plus a contended goroutines x CM-policy comparison
 //	stm     end-to-end STM run: tagless vs tagged abort rates
 //	bench   STM latency/allocation/abort-rate suite (-json for tooling)
+//	check   verify recorded transactional traces for opacity
 //	model   evaluate the conflict model at one configuration
 //	all     every figure above, in paper order (scale, stm, and model are
 //	        separate live-runtime/point commands and are not included)
@@ -61,6 +62,7 @@ subcommands:
   scale                              throughput scaling across organizations
   stm                                end-to-end STM abort-rate comparison
   bench                              ns/op, allocs/op, abort-rate suite (-json)
+  check <trace-file>...              verify recorded traces for opacity
   model                              evaluate the conflict model at a point
   all                                run every figure in paper order
                                      (scale, stm, model run separately)
@@ -82,6 +84,7 @@ func commonFlags(fs *flag.FlagSet) func() figures.Options {
 	kind := fs.String("kind", "tagless", "ownership table under test: tagless | tagged | sharded")
 	cm := fs.String("cm", "backoff", "STM contention-management policy: backoff | adaptive | karma | timestamp | switching")
 	scaleTxns := fs.Int("scale-txns", 0, "override scaling-experiment transactions per goroutine")
+	record := fs.String("record", "", "directory to write opacity traces of the contended CM scaling runs (verify with 'tmbp check')")
 	return func() figures.Options {
 		o := figures.Paper(*seed)
 		if *quick {
@@ -106,6 +109,7 @@ func commonFlags(fs *flag.FlagSet) func() figures.Options {
 		if *scaleTxns > 0 {
 			o.ScaleTxns = *scaleTxns
 		}
+		o.RecordDir = *record
 		return o
 	}
 }
@@ -140,6 +144,8 @@ func run(cmd string, args []string) error {
 		figFn = figures.All
 	case "stm":
 		return runSTM(fs, args, csv)
+	case "check":
+		return runCheck(fs, args)
 	case "bench":
 		return runBench(fs, args)
 	case "model":

@@ -55,6 +55,13 @@ type Options struct {
 	// ScaleTxns is the transactions-per-goroutine count for the scaling
 	// experiment.
 	ScaleTxns int
+	// RecordDir, when non-empty, makes the contended CM scaling runs
+	// record their transactional histories as opacity trace files
+	// (scale-cm-<policy>-g<N>.trace) in this directory, for offline
+	// verification with `tmbp check`. Recording serializes every
+	// transactional operation through one mutex, so recorded throughput
+	// numbers measure the recorder, not the STM.
+	RecordDir string
 }
 
 // Paper returns the full-fidelity preset matching the paper's sample

@@ -2,12 +2,15 @@ package figures
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"tmbp/internal/addr"
 	"tmbp/internal/hash"
+	"tmbp/internal/opacity"
 	"tmbp/internal/otable"
 	"tmbp/internal/report"
 	"tmbp/internal/stm"
@@ -184,7 +187,13 @@ func scaleCMRun(policy string, goroutines int, o Options) (scaleResult, error) {
 	}
 	words := ScaleCMBlocks * blockWords
 	mem := stm.NewMemory(words)
-	rt, err := stm.New(stm.Config{Table: tab, Memory: mem, Seed: o.Seed, CM: policy, FuzzYield: ScaleCMFuzz})
+	cfg := stm.Config{Table: tab, Memory: mem, Seed: o.Seed, CM: policy, FuzzYield: ScaleCMFuzz}
+	var trace *opacity.Log
+	if o.RecordDir != "" {
+		trace = opacity.NewLog()
+		cfg.Recorder = trace
+	}
+	rt, err := stm.New(cfg)
 	if err != nil {
 		return scaleResult{}, err
 	}
@@ -225,7 +234,28 @@ func scaleCMRun(policy string, goroutines int, o Options) (scaleResult, error) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.throughput = float64(st.Commits) / secs
 	}
+	if trace != nil {
+		if err := dumpTrace(trace, o.RecordDir, fmt.Sprintf("scale-cm-%s-g%d.trace", policy, goroutines)); err != nil {
+			return scaleResult{}, err
+		}
+	}
 	return res, nil
+}
+
+// dumpTrace writes a recorded history into dir, creating it if needed.
+func dumpTrace(trace *opacity.Log, dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := trace.Dump(f); err != nil {
+		f.Close()
+		return fmt.Errorf("recording %s: %w", name, err)
+	}
+	return f.Close()
 }
 
 // scaleRun measures one cell: `goroutines` goroutines each committing

@@ -1,0 +1,305 @@
+package opacity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of checking one history.
+type Result struct {
+	// Opaque reports whether a witness linearization was found.
+	Opaque bool
+	// Ops and Committed count the history's transaction attempts; Events
+	// is the raw trace size.
+	Ops, Committed, Events int
+	// StatesExplored counts distinct (linearized-set, store) states the
+	// search visited — 1-2x the op count on healthy near-serial traces.
+	StatesExplored int
+	// Exhausted is set when the search hit its state budget before
+	// deciding; the trace is then reported as failing, but the
+	// counterexample (if any) is the deepest dead end, not a proof.
+	Exhausted bool
+	// Counterexample explains the failure when Opaque is false.
+	Counterexample *Counterexample
+}
+
+// String summarizes the result in one line.
+func (r *Result) String() string {
+	if r.Opaque {
+		return fmt.Sprintf("opaque: %d events, %d attempts (%d committed), %d states explored",
+			r.Events, r.Ops, r.Committed, r.StatesExplored)
+	}
+	if r.Exhausted {
+		return fmt.Sprintf("undecided: search budget exhausted after %d states (%d events, %d attempts)",
+			r.StatesExplored, r.Events, r.Ops)
+	}
+	return "non-opaque: " + r.Counterexample.String()
+}
+
+// Counterexample pins an opacity violation to the smallest window that
+// exhibits it: the reading transaction, the offending read, and — for
+// violations found by the search — the transaction that produced the value
+// the deepest linearization prefix holds instead.
+type Counterexample struct {
+	// Kind classifies the violation: "inconsistent-read" (no linearization
+	// order can justify the observed value), "zombie-reread" (one attempt
+	// observed two versions of a word), or "own-write-mismatch" (an
+	// attempt's read contradicted its own write).
+	Kind string
+	// Reader is the attempt whose read cannot be justified.
+	Reader Op
+	// Word is the word read; Got the observed value; Want the value the
+	// store held at the search's deepest dead end (or, for
+	// intra-transaction violations, the value the attempt itself
+	// established).
+	Word, Got, Want uint64
+	// Writer, when non-nil, is the attempt whose committed write installed
+	// Want — the other half of the offending transaction pair. Nil means
+	// Want is the initial value.
+	Writer *Op
+	// Depth/Total: how many of the history's attempts the best
+	// linearization prefix ordered before getting stuck.
+	Depth, Total int
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+// String renders the counterexample with its window.
+func (c *Counterexample) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s] %s", c.Kind, c.Detail)
+	lo, hi := c.Reader.Begin, c.Reader.End
+	if c.Writer != nil {
+		if c.Writer.Begin < lo {
+			lo = c.Writer.Begin
+		}
+		if c.Writer.End > hi {
+			hi = c.Writer.End
+		}
+	}
+	fmt.Fprintf(&sb, "; window = events [%d, %d]", lo, hi)
+	if c.Total > 0 {
+		fmt.Fprintf(&sb, ", %d/%d attempts linearized", c.Depth, c.Total)
+	}
+	return sb.String()
+}
+
+// mix64 is SplitMix64's output mixer: the Zobrist hash primitive for the
+// memoization keys. Deterministic by design — the checker must be
+// reproducible run to run.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pairHash hashes one (word, value) store entry for the incremental store
+// hash.
+func pairHash(word, value uint64) uint64 {
+	return mix64(word ^ mix64(value) ^ 0xa5a5a5a5a5a5a5a5)
+}
+
+// stateBudget bounds the memoized states the search may visit. Healthy
+// traces from the 2PL runtime explore roughly one state per attempt; the
+// budget only trips on adversarial hand-written histories, and tripping
+// it reports Exhausted rather than a verdict.
+const stateBudget = 1 << 21
+
+// undoEntry records one store mutation for backtracking.
+type undoEntry struct {
+	word, old uint64
+	had       bool
+	oldWriter int
+	hadWriter bool
+}
+
+// Check decides whether the history is opaque by searching for a
+// linearization of its attempts (see the package documentation for the
+// reduction). It is deterministic: candidates are tried in completion
+// order, so the same history always yields the same verdict and the same
+// counterexample.
+func (h *History) Check() *Result {
+	res := &Result{Ops: len(h.Ops), Events: h.Events}
+	for i := range h.Ops {
+		if h.Ops[i].Committed {
+			res.Committed++
+		}
+	}
+	if h.direct != nil {
+		cx := *h.direct
+		cx.Total = len(h.Ops)
+		res.Counterexample = &cx
+		return res
+	}
+	n := len(h.Ops)
+	if n == 0 {
+		res.Opaque = true
+		return res
+	}
+
+	state := make(map[uint64]uint64, len(h.Init)+64)
+	lastWriter := make(map[uint64]int, 64) // word -> op index, -1 = initial
+	var stateHash uint64
+	for w, v := range h.Init {
+		state[w] = v
+		lastWriter[w] = -1
+		stateHash ^= pairHash(w, v)
+	}
+
+	// byEnd is the candidate trial order: completion order, the order a
+	// two-phase-locking execution actually serialized in, so valid traces
+	// linearize almost first-try.
+	byEnd := make([]int, n)
+	for i := range byEnd {
+		byEnd[i] = i
+	}
+	sort.Slice(byEnd, func(a, b int) bool { return h.Ops[byEnd[a]].End < h.Ops[byEnd[b]].End })
+
+	linearized := make([]bool, n)
+	var opsHash uint64
+	memo := make(map[[2]uint64]struct{}, n*2)
+	var best *Counterexample
+	bestDepth := -1
+	exhausted := false
+
+	var dfs func(done int) bool
+	dfs = func(done int) bool {
+		if done == n {
+			return true
+		}
+		if len(memo) >= stateBudget {
+			exhausted = true
+			return false
+		}
+		key := [2]uint64{opsHash, stateHash}
+		if _, seen := memo[key]; seen {
+			return false
+		}
+		memo[key] = struct{}{}
+
+		// An attempt may linearize next iff no pending attempt wholly
+		// precedes it in real time, i.e. its Begin is before the earliest
+		// pending End.
+		minEnd := uint64(math.MaxUint64)
+		for i := 0; i < n; i++ {
+			if !linearized[i] && h.Ops[i].End < minEnd {
+				minEnd = h.Ops[i].End
+			}
+		}
+		for _, i := range byEnd {
+			if linearized[i] {
+				continue
+			}
+			op := &h.Ops[i]
+			if op.Begin >= minEnd {
+				continue
+			}
+			if bad, ok := firstBadRead(op, state); ok {
+				if done > bestDepth {
+					bestDepth = done
+					best = inconsistentRead(h, op, bad, state, lastWriter, done, n)
+				}
+				continue
+			}
+			linearized[i] = true
+			opsHash ^= mix64(uint64(i))
+			var undo []undoEntry
+			if op.Committed {
+				undo = make([]undoEntry, 0, len(op.Writes))
+				for _, wr := range op.Writes {
+					old, had := state[wr.Word]
+					ow, hadW := lastWriter[wr.Word]
+					undo = append(undo, undoEntry{wr.Word, old, had, ow, hadW})
+					if had {
+						stateHash ^= pairHash(wr.Word, old)
+					}
+					state[wr.Word] = wr.Value
+					stateHash ^= pairHash(wr.Word, wr.Value)
+					lastWriter[wr.Word] = i
+				}
+			}
+			if dfs(done + 1) {
+				return true
+			}
+			for j := len(undo) - 1; j >= 0; j-- {
+				u := undo[j]
+				stateHash ^= pairHash(u.word, state[u.word])
+				if u.had {
+					state[u.word] = u.old
+					stateHash ^= pairHash(u.word, u.old)
+				} else {
+					delete(state, u.word)
+				}
+				if u.hadWriter {
+					lastWriter[u.word] = u.oldWriter
+				} else {
+					delete(lastWriter, u.word)
+				}
+			}
+			linearized[i] = false
+			opsHash ^= mix64(uint64(i))
+			if exhausted {
+				return false
+			}
+		}
+		return false
+	}
+
+	res.Opaque = dfs(0)
+	res.StatesExplored = len(memo)
+	res.Exhausted = exhausted
+	if !res.Opaque {
+		res.Counterexample = best
+	}
+	return res
+}
+
+// firstBadRead returns the first read of op that the store contradicts.
+func firstBadRead(op *Op, state map[uint64]uint64) (Access, bool) {
+	for _, rd := range op.Reads {
+		if state[rd.Word] != rd.Value {
+			return rd, true
+		}
+	}
+	return Access{}, false
+}
+
+// inconsistentRead builds the counterexample for a read the deepest
+// linearization prefix cannot justify.
+func inconsistentRead(h *History, op *Op, bad Access, state map[uint64]uint64, lastWriter map[uint64]int, depth, total int) *Counterexample {
+	cx := &Counterexample{
+		Kind:   "inconsistent-read",
+		Reader: *op,
+		Word:   bad.Word,
+		Got:    bad.Value,
+		Want:   state[bad.Word],
+		Depth:  depth,
+		Total:  total,
+	}
+	src := "the initial store"
+	if wi, ok := lastWriter[bad.Word]; ok && wi >= 0 {
+		w := h.Ops[wi]
+		cx.Writer = &w
+		src = fmt.Sprintf("committed by %s", w.Name())
+	}
+	status := "committed"
+	if !op.Committed {
+		status = "aborted"
+	}
+	cx.Detail = fmt.Sprintf("%s (%s) read word %d = %d, but no linearization extends past word %d = %d (%s): the snapshot the attempt observed never existed",
+		op.Name(), status, bad.Word, bad.Value, bad.Word, cx.Want, src)
+	return cx
+}
+
+// CheckTrace normalizes and checks a raw event stream in one call; the
+// error reports a malformed trace (distinct from a non-opaque one).
+func CheckTrace(events []Event) (*Result, error) {
+	h, err := Normalize(events)
+	if err != nil {
+		return nil, err
+	}
+	return h.Check(), nil
+}

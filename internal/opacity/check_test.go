@@ -1,0 +1,312 @@
+package opacity
+
+import (
+	"strings"
+	"testing"
+)
+
+// This file is the checker's own oracle: hand-written histories whose
+// opacity status is known by construction. The accept set covers the
+// shapes healthy STM traces produce (serial, overlapping-but-consistent,
+// aborted attempts, read-own-writes, seeded initial state); the reject set
+// covers the canonical violations the checker exists to catch — a read
+// observing a later-aborted write, a zombie read of two inconsistent
+// versions, an aborted attempt straddling a committed update, a real-time
+// order inversion, and a lost update.
+
+// hb builds event streams with auto-assigned indexes.
+type hb struct {
+	evs []Event
+	idx uint64
+}
+
+func (b *hb) ev(k Kind, t uint32, n int32, w, v uint64) *hb {
+	b.evs = append(b.evs, Event{Index: b.idx, Kind: k, Thread: t, Attempt: n, Word: w, Value: v})
+	b.idx++
+	return b
+}
+
+func (b *hb) init(w, v uint64) *hb                     { return b.ev(KindInit, 0, 0, w, v) }
+func (b *hb) begin(t uint32, n int32) *hb              { return b.ev(KindBegin, t, n, 0, 0) }
+func (b *hb) read(t uint32, n int32, w, v uint64) *hb  { return b.ev(KindRead, t, n, w, v) }
+func (b *hb) write(t uint32, n int32, w, v uint64) *hb { return b.ev(KindWrite, t, n, w, v) }
+func (b *hb) commit(t uint32, n int32) *hb             { return b.ev(KindCommit, t, n, 0, 0) }
+func (b *hb) abort(t uint32, n int32) *hb              { return b.ev(KindAbort, t, n, 0, 0) }
+
+func mustCheck(t *testing.T, b *hb) *Result {
+	t.Helper()
+	res, err := CheckTrace(b.evs)
+	if err != nil {
+		t.Fatalf("unexpected malformed trace: %v", err)
+	}
+	return res
+}
+
+func wantOpaque(t *testing.T, b *hb) *Result {
+	t.Helper()
+	res := mustCheck(t, b)
+	if !res.Opaque {
+		t.Fatalf("known-opaque history rejected: %s", res)
+	}
+	return res
+}
+
+func wantNonOpaque(t *testing.T, b *hb, kind string) *Result {
+	t.Helper()
+	res := mustCheck(t, b)
+	if res.Opaque {
+		t.Fatalf("known-non-opaque history accepted (%d ops, %d states)", res.Ops, res.StatesExplored)
+	}
+	if res.Exhausted {
+		t.Fatalf("tiny history exhausted the search budget")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("non-opaque verdict without a counterexample")
+	}
+	if res.Counterexample.Kind != kind {
+		t.Fatalf("counterexample kind = %q, want %q (%s)", res.Counterexample.Kind, kind, res.Counterexample)
+	}
+	return res
+}
+
+func TestAcceptEmptyTrace(t *testing.T) {
+	res := wantOpaque(t, &hb{})
+	if res.Ops != 0 || res.Committed != 0 {
+		t.Fatalf("empty trace normalized to %d ops", res.Ops)
+	}
+}
+
+func TestAcceptSerialIncrements(t *testing.T) {
+	b := &hb{}
+	for i := uint64(0); i < 5; i++ {
+		b.begin(1, 1).read(1, 1, 7, i).write(1, 1, 7, i+1).commit(1, 1)
+	}
+	wantOpaque(t, b)
+}
+
+func TestAcceptOverlappingDisjoint(t *testing.T) {
+	// Two attempts interleaved at the event level but touching disjoint
+	// words: any order works.
+	b := &hb{}
+	b.begin(1, 1).begin(2, 1)
+	b.read(1, 1, 0, 0).read(2, 1, 8, 0)
+	b.write(1, 1, 0, 1).write(2, 1, 8, 2)
+	b.commit(1, 1).commit(2, 1)
+	wantOpaque(t, b)
+}
+
+func TestAcceptOverlapRequiresWriterFirst(t *testing.T) {
+	// T1 reads the value T2 commits, and T1 completes first: the witness
+	// must order T2 before T1 even though T1's End is earlier, exercising
+	// the candidate skip-and-continue path.
+	b := &hb{}
+	b.begin(1, 1).begin(2, 1)
+	b.write(2, 1, 3, 9)
+	b.read(1, 1, 3, 9)
+	b.commit(2, 1) // T2 ends after recording T1's read but before T1's end
+	b.commit(1, 1)
+	// Reorder ends: rebuild so T1 ends first while still reading 9.
+	b2 := &hb{}
+	b2.begin(1, 1).begin(2, 1)
+	b2.write(2, 1, 3, 9)
+	b2.read(1, 1, 3, 9)
+	b2.commit(1, 1)
+	b2.commit(2, 1)
+	wantOpaque(t, b)
+	wantOpaque(t, b2)
+}
+
+func TestAcceptAbortedAttemptThenRetry(t *testing.T) {
+	// Attempt 1 reads consistently and aborts (conflict), attempt 2
+	// commits — the shape every conflict-retry trace has.
+	b := &hb{}
+	b.begin(1, 1).read(1, 1, 2, 0).abort(1, 1)
+	b.begin(1, 2).read(1, 2, 2, 0).write(1, 2, 2, 5).commit(1, 2)
+	b.begin(2, 1).read(2, 1, 2, 5).commit(2, 1)
+	wantOpaque(t, b)
+}
+
+func TestAcceptReadOwnWrites(t *testing.T) {
+	b := &hb{}
+	b.begin(1, 1)
+	b.read(1, 1, 4, 0)
+	b.write(1, 1, 4, 10)
+	b.read(1, 1, 4, 10) // own write read back
+	b.write(1, 1, 4, 11)
+	b.read(1, 1, 4, 11)
+	b.commit(1, 1)
+	b.begin(1, 2).read(1, 2, 4, 11).commit(1, 2)
+	wantOpaque(t, b)
+}
+
+func TestAcceptInitSeededStore(t *testing.T) {
+	b := &hb{}
+	b.init(3, 42).init(4, 7)
+	b.begin(1, 1).read(1, 1, 3, 42).read(1, 1, 4, 7).read(1, 1, 5, 0).commit(1, 1)
+	wantOpaque(t, b)
+}
+
+func TestRejectReadOfAbortedWrite(t *testing.T) {
+	// T1's write of 5 never committed; T2 observed it anyway (dirty read
+	// of a doomed transaction).
+	b := &hb{}
+	b.begin(1, 1).write(1, 1, 0, 5).abort(1, 1)
+	b.begin(2, 1).read(2, 1, 0, 5).commit(2, 1)
+	res := wantNonOpaque(t, b, "inconsistent-read")
+	cx := res.Counterexample
+	if cx.Reader.Thread != 2 || cx.Word != 0 || cx.Got != 5 || cx.Want != 0 {
+		t.Fatalf("counterexample misattributed: %s", cx)
+	}
+	if cx.Writer != nil {
+		t.Fatalf("expected the initial store as the conflicting source, got writer %s", cx.Writer.Name())
+	}
+}
+
+func TestRejectZombieSnapshot(t *testing.T) {
+	// T2 commits w0=1,w1=1 atomically; T1 observes w0 before and w1 after
+	// — a snapshot that never existed. T1 even aborts: opacity still
+	// condemns it.
+	b := &hb{}
+	b.begin(1, 1)
+	b.read(1, 1, 0, 0)
+	b.begin(2, 1).read(2, 1, 0, 0).read(2, 1, 1, 0)
+	b.write(2, 1, 0, 1).write(2, 1, 1, 1).commit(2, 1)
+	b.read(1, 1, 1, 1)
+	b.abort(1, 1)
+	res := wantNonOpaque(t, b, "inconsistent-read")
+	cx := res.Counterexample
+	if cx.Reader.Thread != 1 {
+		t.Fatalf("expected T1 as the zombie reader: %s", cx)
+	}
+	if cx.Writer == nil || cx.Writer.Thread != 2 {
+		t.Fatalf("expected T2 named as the conflicting writer: %s", cx)
+	}
+	if !strings.Contains(cx.String(), "aborted") {
+		t.Fatalf("counterexample should flag the aborted reader: %s", cx)
+	}
+}
+
+func TestRejectRealTimeInversion(t *testing.T) {
+	// T1 reads w=1 and completes strictly before T2 writes 1: serializable
+	// (T2 first) but not linearizable — real-time order forbids it.
+	b := &hb{}
+	b.begin(1, 1).read(1, 1, 6, 1).commit(1, 1)
+	b.begin(2, 1).write(2, 1, 6, 1).commit(2, 1)
+	wantNonOpaque(t, b, "inconsistent-read")
+}
+
+func TestRejectLostUpdate(t *testing.T) {
+	// Both attempts read 0 and write 1 in serial real-time order: the
+	// second read of 0 is stale. (A correct 2PL runtime can never emit
+	// this; a broken release path could.)
+	b := &hb{}
+	b.begin(1, 1).read(1, 1, 9, 0).write(1, 1, 9, 1).commit(1, 1)
+	b.begin(2, 1).read(2, 1, 9, 0).write(2, 1, 9, 1).commit(2, 1)
+	wantNonOpaque(t, b, "inconsistent-read")
+}
+
+func TestRejectIntraAttemptReread(t *testing.T) {
+	b := &hb{}
+	b.begin(1, 1).read(1, 1, 2, 0).read(1, 1, 2, 3).commit(1, 1)
+	res := wantNonOpaque(t, b, "zombie-reread")
+	if res.Counterexample.Got != 3 || res.Counterexample.Want != 0 {
+		t.Fatalf("re-read counterexample values wrong: %s", res.Counterexample)
+	}
+}
+
+func TestRejectOwnWriteMismatch(t *testing.T) {
+	b := &hb{}
+	b.begin(1, 1).write(1, 1, 2, 5).read(1, 1, 2, 6).commit(1, 1)
+	wantNonOpaque(t, b, "own-write-mismatch")
+}
+
+func TestMalformedTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *hb
+		want string
+	}{
+		{"read outside attempt", (&hb{}).read(1, 1, 0, 0), "outside any attempt"},
+		{"commit outside attempt", (&hb{}).commit(1, 1), "outside any attempt"},
+		{"nested begin", (&hb{}).begin(1, 1).begin(1, 2), "while attempt"},
+		{"attempt mismatch", (&hb{}).begin(1, 1).read(1, 2, 0, 0), "tagged attempt"},
+		{"trace ends open", (&hb{}).begin(1, 1).read(1, 1, 0, 0), "still open"},
+		{"init after begin", (&hb{}).begin(1, 1).commit(1, 1).init(0, 1), "after transactional activity"},
+		{"duplicate init", (&hb{}).init(0, 1).init(0, 2), "duplicate init"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CheckTrace(tc.b.evs)
+			if err == nil {
+				t.Fatal("malformed trace accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeOutOfOrderIndexes(t *testing.T) {
+	evs := []Event{
+		{Index: 5, Kind: KindBegin, Thread: 1, Attempt: 1},
+		{Index: 4, Kind: KindCommit, Thread: 1, Attempt: 1},
+	}
+	if _, err := Normalize(evs); err == nil {
+		t.Fatal("out-of-order event indexes accepted")
+	}
+}
+
+// TestCheckDeterministic pins the reproducibility contract: same history,
+// same verdict, same counterexample text.
+func TestCheckDeterministic(t *testing.T) {
+	build := func() *hb {
+		b := &hb{}
+		b.begin(1, 1)
+		b.read(1, 1, 0, 0)
+		b.begin(2, 1).write(2, 1, 0, 1).write(2, 1, 1, 1).commit(2, 1)
+		b.read(1, 1, 1, 1)
+		b.abort(1, 1)
+		return b
+	}
+	a := mustCheck(t, build()).String()
+	bb := mustCheck(t, build()).String()
+	if a != bb {
+		t.Fatalf("verdicts differ across runs:\n%s\n%s", a, bb)
+	}
+}
+
+// TestCheckScalesToHammerSizedHistory synthesizes a few thousand
+// interleaved-but-consistent increments and confirms the search stays
+// near-linear (the memoized DFS must not blow up on the trace sizes the
+// CI replay job feeds it).
+func TestCheckScalesToHammerSizedHistory(t *testing.T) {
+	b := &hb{}
+	const threads, rounds = 8, 120
+	vals := make(map[uint64]uint64)
+	for r := 0; r < rounds; r++ {
+		// All threads' attempts overlap within a round (begin together,
+		// commit together) but touch disjoint words, so every
+		// interleaving is consistent and the candidate set is 8 wide.
+		n := int32(r + 1)
+		for th := uint32(1); th <= threads; th++ {
+			b.begin(th, n)
+		}
+		for th := uint32(1); th <= threads; th++ {
+			w := uint64(th-1) * 2
+			b.read(th, n, w, vals[w])
+			vals[w]++
+			b.write(th, n, w, vals[w])
+		}
+		for th := uint32(1); th <= threads; th++ {
+			b.commit(th, n)
+		}
+	}
+	res := wantOpaque(t, b)
+	if res.Ops != threads*rounds {
+		t.Fatalf("ops = %d, want %d", res.Ops, threads*rounds)
+	}
+	if res.StatesExplored > 4*res.Ops {
+		t.Fatalf("search explored %d states for %d ops: memoization not effective", res.StatesExplored, res.Ops)
+	}
+}

@@ -1,0 +1,172 @@
+package opacity
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace wire format: line-delimited JSON, one event per line, compact
+// single-letter field names so hammer-scale traces stay small and
+// greppable:
+//
+//	{"i":0,"k":"I","w":3,"v":7}            initial value of word 3
+//	{"i":1,"k":"B","t":2,"n":1}            thread 2 begins attempt 1
+//	{"i":2,"k":"R","t":2,"n":1,"w":3,"v":7} ... reads word 3 = 7
+//	{"i":3,"k":"W","t":2,"n":1,"w":3,"v":8} ... speculatively writes 8
+//	{"i":4,"k":"C","t":2,"n":1}            ... commits
+//
+// Decoding is strict: unknown fields, missing fields, fields illegal for
+// the event's kind, thread 0, attempt < 1, and non-increasing indexes are
+// all rejected with the offending line number, so a corrupted or
+// hand-edited trace fails loudly in `tmbp check` rather than silently
+// verifying the wrong history.
+
+// AppendEvent appends the wire encoding of ev (one JSON line including the
+// trailing newline) to buf.
+func AppendEvent(buf []byte, ev Event) ([]byte, error) {
+	switch ev.Kind {
+	case KindInit:
+		buf = fmt.Appendf(buf, `{"i":%d,"k":"I","w":%d,"v":%d}`, ev.Index, ev.Word, ev.Value)
+	case KindBegin, KindCommit, KindAbort:
+		buf = fmt.Appendf(buf, `{"i":%d,"k":%q,"t":%d,"n":%d}`, ev.Index, ev.Kind.String(), ev.Thread, ev.Attempt)
+	case KindRead, KindWrite:
+		buf = fmt.Appendf(buf, `{"i":%d,"k":%q,"t":%d,"n":%d,"w":%d,"v":%d}`,
+			ev.Index, ev.Kind.String(), ev.Thread, ev.Attempt, ev.Word, ev.Value)
+	default:
+		return buf, fmt.Errorf("opacity: cannot encode event with invalid kind %v", ev.Kind)
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteTrace writes events to w in the line-delimited wire format.
+func WriteTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, ev := range events {
+		var err error
+		buf, err = AppendEvent(buf[:0], ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// wireEvent is the decoding shape: pointer fields distinguish "absent"
+// from zero values, which are legal for every numeric field.
+type wireEvent struct {
+	I *uint64 `json:"i"`
+	K *string `json:"k"`
+	T *uint32 `json:"t"`
+	N *int32  `json:"n"`
+	W *uint64 `json:"w"`
+	V *uint64 `json:"v"`
+}
+
+// kindOf maps a wire letter to its Kind.
+func kindOf(s string) (Kind, bool) {
+	switch s {
+	case "I":
+		return KindInit, true
+	case "B":
+		return KindBegin, true
+	case "R":
+		return KindRead, true
+	case "W":
+		return KindWrite, true
+	case "C":
+		return KindCommit, true
+	case "A":
+		return KindAbort, true
+	}
+	return 0, false
+}
+
+// decodeLine parses one wire line into an Event, enforcing the per-kind
+// field contract.
+func decodeLine(line []byte) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var we wireEvent
+	if err := dec.Decode(&we); err != nil {
+		return Event{}, fmt.Errorf("not a trace event: %v", err)
+	}
+	if dec.More() {
+		return Event{}, fmt.Errorf("trailing data after event object")
+	}
+	if we.I == nil {
+		return Event{}, fmt.Errorf(`missing index field "i"`)
+	}
+	if we.K == nil {
+		return Event{}, fmt.Errorf(`missing kind field "k"`)
+	}
+	k, ok := kindOf(*we.K)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", *we.K)
+	}
+	ev := Event{Index: *we.I, Kind: k}
+	needTxn := k != KindInit
+	needWord := k == KindInit || k == KindRead || k == KindWrite
+	if needTxn {
+		if we.T == nil || we.N == nil {
+			return Event{}, fmt.Errorf(`%s event needs thread "t" and attempt "n"`, k)
+		}
+		if *we.T == 0 {
+			return Event{}, fmt.Errorf("%s event with thread 0 (thread IDs start at 1)", k)
+		}
+		if *we.N < 1 {
+			return Event{}, fmt.Errorf("%s event with attempt %d (attempts start at 1)", k, *we.N)
+		}
+		ev.Thread, ev.Attempt = *we.T, *we.N
+	} else if we.T != nil || we.N != nil {
+		return Event{}, fmt.Errorf(`init event must not carry thread "t" or attempt "n"`)
+	}
+	if needWord {
+		if we.W == nil || we.V == nil {
+			return Event{}, fmt.Errorf(`%s event needs word "w" and value "v"`, k)
+		}
+		ev.Word, ev.Value = *we.W, *we.V
+	} else if we.W != nil || we.V != nil {
+		return Event{}, fmt.Errorf(`%s event must not carry word "w" or value "v"`, k)
+	}
+	return ev, nil
+}
+
+// ReadTrace decodes a line-delimited trace. Blank lines are permitted and
+// skipped; any malformed line fails the whole read with its line number.
+// Event indexes must be strictly increasing.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var events []Event
+	lineNo := 0
+	haveLast := false
+	var last uint64
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := decodeLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("opacity: line %d: %v", lineNo, err)
+		}
+		if haveLast && ev.Index <= last {
+			return nil, fmt.Errorf("opacity: line %d: event index %d not after %d (indexes must be strictly increasing)",
+				lineNo, ev.Index, last)
+		}
+		last, haveLast = ev.Index, true
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("opacity: reading trace: %v", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,179 @@
+package opacity
+
+import "fmt"
+
+// Access is one (word, value) pair of an operation's read or write set.
+type Access struct {
+	Word, Value uint64
+}
+
+// Op is one transaction attempt collapsed to a single operation of the
+// derived coarse-grained TM object. Begin/End are the event indexes of the
+// attempt's Begin and Commit/Abort: the real-time interval the
+// linearizability search must respect. Reads holds the attempt's external
+// reads — the first observed value per word, excluding reads the attempt
+// served from its own write set. Writes holds the final speculative value
+// per word; it takes effect only when Committed.
+type Op struct {
+	Thread     uint32
+	Attempt    int32
+	Begin, End uint64
+	Committed  bool
+	Reads      []Access
+	Writes     []Access
+}
+
+// Name renders the op's identity for reporting, e.g. "T3#2" (thread 3,
+// attempt 2).
+func (o *Op) Name() string { return fmt.Sprintf("T%d#%d", o.Thread, o.Attempt) }
+
+// History is a normalized trace: the initial store plus one Op per
+// completed transaction attempt, ready for the linearizability check.
+type History struct {
+	// Init is the declared initial store; words absent from it are zero.
+	Init map[uint64]uint64
+	// Ops are the attempts in order of their Begin index.
+	Ops []Op
+	// Events is the raw event count the history was built from.
+	Events int
+
+	// direct is an opacity violation already evident inside a single
+	// attempt (a zombie re-read or an own-write read mismatch), found
+	// during normalization; Check reports it without searching.
+	direct *Counterexample
+}
+
+// opBuilder accumulates one in-flight attempt during normalization.
+type opBuilder struct {
+	op        Op
+	reads     map[uint64]uint64 // word -> first externally observed value
+	writes    map[uint64]int    // word -> index into op.Writes
+	readOrder []uint64
+}
+
+// Normalize folds a raw event stream (in index order, as produced by Log
+// or ReadTrace) into a History. It returns an error for structurally
+// malformed traces: events out of index order, reads/writes/ends outside
+// an open attempt, nested Begins, attempt-number mismatches, Init events
+// after transactional activity, or a trace that ends with an attempt still
+// open (traces must be quiescent — record after all threads have joined).
+//
+// Value-level inconsistencies inside one attempt (re-reading a word and
+// observing a different value with no intervening own write, or reading
+// back an own write incorrectly) are not malformations — they are opacity
+// violations, and are carried into the History for Check to report.
+func Normalize(events []Event) (*History, error) {
+	h := &History{Init: make(map[uint64]uint64), Events: len(events)}
+	active := make(map[uint32]*opBuilder)
+	transactional := false
+	haveLast := false
+	var last uint64
+	for n, ev := range events {
+		if haveLast && ev.Index <= last {
+			return nil, fmt.Errorf("opacity: event %d: index %d not after %d", n, ev.Index, last)
+		}
+		last, haveLast = ev.Index, true
+		if ev.Kind == KindInit {
+			if transactional {
+				return nil, fmt.Errorf("opacity: event %d: init event after transactional activity", n)
+			}
+			if _, dup := h.Init[ev.Word]; dup {
+				return nil, fmt.Errorf("opacity: event %d: duplicate init for word %d", n, ev.Word)
+			}
+			h.Init[ev.Word] = ev.Value
+			continue
+		}
+		transactional = true
+		if ev.Thread == 0 {
+			return nil, fmt.Errorf("opacity: event %d: %s event with thread 0", n, ev.Kind)
+		}
+		b := active[ev.Thread]
+		switch ev.Kind {
+		case KindBegin:
+			if b != nil {
+				return nil, fmt.Errorf("opacity: event %d: thread %d begins attempt %d while attempt %d is open",
+					n, ev.Thread, ev.Attempt, b.op.Attempt)
+			}
+			if ev.Attempt < 1 {
+				return nil, fmt.Errorf("opacity: event %d: begin with attempt %d", n, ev.Attempt)
+			}
+			active[ev.Thread] = &opBuilder{
+				op:     Op{Thread: ev.Thread, Attempt: ev.Attempt, Begin: ev.Index},
+				reads:  make(map[uint64]uint64),
+				writes: make(map[uint64]int),
+			}
+		case KindRead, KindWrite, KindCommit, KindAbort:
+			if b == nil {
+				return nil, fmt.Errorf("opacity: event %d: %s by thread %d outside any attempt",
+					n, ev.Kind, ev.Thread)
+			}
+			if ev.Attempt != b.op.Attempt {
+				return nil, fmt.Errorf("opacity: event %d: %s by thread %d tagged attempt %d inside attempt %d",
+					n, ev.Kind, ev.Thread, ev.Attempt, b.op.Attempt)
+			}
+			switch ev.Kind {
+			case KindRead:
+				if cx := b.read(ev); cx != nil {
+					if h.direct == nil {
+						h.direct = cx
+					}
+				}
+			case KindWrite:
+				if i, ok := b.writes[ev.Word]; ok {
+					b.op.Writes[i].Value = ev.Value
+				} else {
+					b.writes[ev.Word] = len(b.op.Writes)
+					b.op.Writes = append(b.op.Writes, Access{ev.Word, ev.Value})
+				}
+			case KindCommit, KindAbort:
+				b.op.End = ev.Index
+				b.op.Committed = ev.Kind == KindCommit
+				for _, w := range b.readOrder {
+					b.op.Reads = append(b.op.Reads, Access{w, b.reads[w]})
+				}
+				h.Ops = append(h.Ops, b.op)
+				delete(active, ev.Thread)
+			}
+		default:
+			return nil, fmt.Errorf("opacity: event %d: invalid kind %v", n, ev.Kind)
+		}
+	}
+	if len(active) > 0 {
+		for tid, b := range active {
+			return nil, fmt.Errorf("opacity: trace ends with thread %d attempt %d still open (record only quiescent runs)",
+				tid, b.op.Attempt)
+		}
+	}
+	return h, nil
+}
+
+// read folds one read event into the builder, returning a counterexample
+// when the value contradicts what the attempt itself has already
+// established (the intra-transaction half of opacity).
+func (b *opBuilder) read(ev Event) *Counterexample {
+	if i, ok := b.writes[ev.Word]; ok {
+		if want := b.op.Writes[i].Value; ev.Value != want {
+			return &Counterexample{
+				Kind: "own-write-mismatch", Reader: b.op,
+				Word: ev.Word, Got: ev.Value, Want: want,
+				Detail: fmt.Sprintf("%s read word %d = %d after writing %d to it",
+					b.op.Name(), ev.Word, ev.Value, want),
+			}
+		}
+		return nil
+	}
+	if want, ok := b.reads[ev.Word]; ok {
+		if ev.Value != want {
+			return &Counterexample{
+				Kind: "zombie-reread", Reader: b.op,
+				Word: ev.Word, Got: ev.Value, Want: want,
+				Detail: fmt.Sprintf("%s re-read word %d = %d after first observing %d with no intervening own write: two inconsistent versions inside one attempt",
+					b.op.Name(), ev.Word, ev.Value, want),
+			}
+		}
+		return nil
+	}
+	b.reads[ev.Word] = ev.Value
+	b.readOrder = append(b.readOrder, ev.Word)
+	return nil
+}

@@ -1,0 +1,125 @@
+// Package opacity is an offline checker for the global correctness
+// condition of transactional memory: opacity (Guerraoui & Kapalka). The
+// runtime's oracle tests prove that the unified log and the contention
+// managers preserve table-op sequences; nothing there checks that the
+// *histories* the STM produces — the interleaved begin/read/write/
+// commit/abort behavior across threads, with the values reads actually
+// observed — admit a single sequential order in which every transaction,
+// committed or aborted, saw a consistent snapshot. That property is what
+// every future hot-path change (invisible readers, commit-time write
+// coalescing) must preserve, so this package is the machine-checked gate
+// behind them.
+//
+// # Reduction to linearizability
+//
+// The checker implements the sound-and-complete reduction of "Reducing
+// Opacity to Linearizability" (Armstrong, Dongol, Doherty; see PAPERS.md):
+// a TM history is opaque exactly when the corresponding history of the
+// coarse-grained TM object — each transaction attempt collapsed to one
+// operation whose invocation is its Begin and whose response is its
+// Commit/Abort — is linearizable with respect to the sequential TM
+// specification. The sequential specification is a word store: applying a
+// transaction checks that every value it read (outside its own write set)
+// equals the store's current value, and, if the transaction committed,
+// installs its writes. Aborted attempts participate with their reads only:
+// opacity, unlike plain serializability, demands that even doomed
+// transactions observe consistent snapshots, because a zombie transaction
+// acting on an inconsistent view can crash or loop before the runtime
+// aborts it.
+//
+// Linearizability of the derived history is decided by a Wing&Gong-style
+// depth-first search over linearization orders (with Lowe's memoization of
+// visited (linearized-set, store-state) pairs, tracked as incrementally
+// maintained Zobrist hashes): at each step any pending operation that no
+// other pending operation wholly precedes in real time may be linearized
+// next, provided its reads validate against the current store. Histories
+// recorded from the STM are near-serial — encounter-time two-phase locking
+// commits in essentially the order transactions release — so trying
+// candidates in completion order finds a witness with almost no
+// backtracking and hammer-scale traces (thousands of events) check in
+// milliseconds; the memoization bounds the pathological cases.
+//
+// On failure the checker reports a minimal counterexample window: the
+// transaction whose read no linearization order can satisfy, the read
+// itself (word, observed value), and the transaction that wrote the value
+// the deepest-reaching linearization had installed instead.
+//
+// # Traces
+//
+// Events are recorded through Log (which the STM feeds via its
+// Config.Recorder hook) and serialized as line-delimited JSON, one event
+// per line — see the codec. Traces are expected to be quiescent (every
+// recorded Begin is closed by a Commit or Abort; the recorder is read only
+// after all transaction threads have joined) and to start from the
+// initial memory state captured by Init events (unrecorded words are zero,
+// matching a fresh stm.Memory). The `tmbp check` subcommand replays trace
+// files through this checker.
+package opacity
+
+import "fmt"
+
+// Kind discriminates trace events.
+type Kind uint8
+
+// Event kinds. Init events declare a word's starting value and may appear
+// only before the first transactional event; the rest mirror the
+// transactional lifecycle.
+const (
+	// KindInit declares the initial value of a word (wire letter "I").
+	KindInit Kind = iota + 1
+	// KindBegin opens a transaction attempt ("B").
+	KindBegin
+	// KindRead is a transactional read with its observed value ("R").
+	KindRead
+	// KindWrite is a transactional (speculative) write ("W").
+	KindWrite
+	// KindCommit closes an attempt whose writes took effect ("C").
+	KindCommit
+	// KindAbort closes an attempt whose writes were discarded ("A").
+	KindAbort
+)
+
+// String returns the wire letter of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInit:
+		return "I"
+	case KindBegin:
+		return "B"
+	case KindRead:
+		return "R"
+	case KindWrite:
+		return "W"
+	case KindCommit:
+		return "C"
+	case KindAbort:
+		return "A"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of a transactional history.
+//
+// Index is the recorder-assigned global sequence number: strictly
+// increasing, and consistent with real time (event a was recorded before
+// event b iff a.Index < b.Index). Only the Begin and Commit/Abort indexes
+// carry semantic weight — they delimit the operation interval the
+// linearizability search orders by; Read/Write indexes matter only for the
+// per-thread event order.
+//
+// Thread is the recording thread's transaction identity (otable.TxID);
+// Attempt is the 1-based attempt number within the thread's current
+// transaction, so (Thread, Begin index) names an attempt uniquely and
+// Attempt cross-checks the pairing. Word is a word index into the
+// runtime's memory (not a byte address); Value is the value read or
+// speculatively written. Word/Value are meaningful only for Init, Read,
+// and Write events.
+type Event struct {
+	Index   uint64
+	Kind    Kind
+	Thread  uint32
+	Attempt int32
+	Word    uint64
+	Value   uint64
+}

@@ -45,13 +45,15 @@ func newCMRuntime(t *testing.T, kind, policy string) *Runtime {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{
+	cfg := Config{
 		Table:       tab,
 		Memory:      NewMemory(64),
 		Seed:        7,
 		CM:          policy,
 		MaxAttempts: cmMaxAttempts,
-	})
+	}
+	attachRecorder(t, &cfg)
+	rt, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -658,7 +660,9 @@ func TestCMPoliciesUnderHammer(t *testing.T) {
 				t.Fatal(err)
 			}
 			mem := NewMemory(1 << 10)
-			rt, err := New(Config{Table: tab, Memory: mem, Seed: 3, CM: policy, FuzzYield: 0.2})
+			cfg := Config{Table: tab, Memory: mem, Seed: 3, CM: policy, FuzzYield: 0.2}
+			attachRecorder(t, &cfg)
+			rt, err := New(cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"tmbp/internal/hash"
+	"tmbp/internal/opacity"
 	"tmbp/internal/otable"
 	"tmbp/internal/xrand"
 )
@@ -24,7 +25,9 @@ func TestSTMMatchesMapOracle(t *testing.T) {
 				return false
 			}
 			mem := NewMemory(64)
-			rt, err := New(Config{Table: tab, Memory: mem, Seed: seed})
+			cfg := Config{Table: tab, Memory: mem, Seed: seed}
+			trace := attachRecorder(t, &cfg)
+			rt, err := New(cfg)
 			if err != nil {
 				return false
 			}
@@ -82,6 +85,16 @@ func TestSTMMatchesMapOracle(t *testing.T) {
 					return false
 				}
 			}
+			// When recording, the history must also verify as opaque —
+			// the map oracle and the opacity checker cross-check each
+			// other on the same execution.
+			if trace != nil {
+				res, err := opacity.CheckTrace(trace.Events())
+				if err != nil || !res.Opaque {
+					t.Logf("%s seed %d: opacity check: %v %s", kind, seed, err, res)
+					return false
+				}
+			}
 			return tab.Occupied() == 0
 		}
 		if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
@@ -96,7 +109,9 @@ func TestSTMWordGranularityOracle(t *testing.T) {
 	h := hash.NewMask(32)
 	tab := otable.NewTagless(h)
 	mem := NewMemory(64)
-	rt, err := New(Config{Table: tab, Memory: mem, Granularity: WordGranularity, Seed: 3})
+	cfg := Config{Table: tab, Memory: mem, Granularity: WordGranularity, Seed: 3}
+	attachRecorder(t, &cfg)
+	rt, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,9 @@ func TestAtomicHammerAllKinds(t *testing.T) {
 					t.Fatal(err)
 				}
 				mem := NewMemory(1 << 10)
-				rt, err := New(Config{Table: tab, Memory: mem, Seed: 1, FuzzYield: 0.2, CM: policy})
+				cfg := Config{Table: tab, Memory: mem, Seed: 1, FuzzYield: 0.2, CM: policy}
+				attachRecorder(t, &cfg)
+				rt, err := New(cfg)
 				if err != nil {
 					t.Fatal(err)
 				}

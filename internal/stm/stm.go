@@ -64,10 +64,33 @@ import (
 	"sync/atomic"
 
 	"tmbp/internal/addr"
+	"tmbp/internal/opacity"
 	"tmbp/internal/otable"
 	"tmbp/internal/txn"
 	"tmbp/internal/xrand"
 )
+
+// Recorder receives one opacity.Event per transactional operation: a Begin
+// for every attempt, a Read/Write (with the memory word index and the
+// observed/speculative value) for every Tx.Read/Tx.Write, and a
+// Commit/Abort when the attempt completes. Implementations must be safe
+// for concurrent use by all threads and are expected to assign the global
+// event index (see opacity.Log, the standard implementation). The runtime
+// orders the calls so the recorded history brackets the real memory
+// effects: Begin is recorded before the attempt's first acquire, and
+// Commit/Abort after write-back and release — which is exactly the
+// real-time contract the offline opacity checker relies on.
+//
+// Footprint-only accesses (Tx.ReadBlock/Tx.WriteBlock) and
+// non-transactional probes (LoadNT/StoreNT) are not recorded: they carry
+// no values, so they have no place in a value-based opacity history.
+//
+// A nil Recorder (the default, and the only configuration benchmarks and
+// production runs should use) costs one predictable branch per operation
+// and zero allocations.
+type Recorder interface {
+	RecordEvent(opacity.Event)
+}
 
 // Granularity selects the chunk size at which ownership is tracked
 // (Section 1: "typically either individual words ... or whole cache lines").
@@ -156,6 +179,10 @@ type Config struct {
 	// NewCM, when non-nil, overrides CM with a custom per-thread policy
 	// constructor, called once from NewThread for each thread.
 	NewCM func(th *Thread) CM
+	// Recorder, when non-nil, receives the runtime's transactional history
+	// for offline opacity checking (see the Recorder interface and
+	// `tmbp check`). Nil disables recording at zero cost.
+	Recorder Recorder
 	// Seed makes thread-local randomized backoff reproducible.
 	Seed uint64
 }
@@ -343,6 +370,7 @@ func (rt *Runtime) NewThread() *Thread {
 		mem:      rt.cfg.Memory,
 		wordGran: rt.cfg.Granularity == WordGranularity,
 		slotID:   slotID,
+		rec:      rt.cfg.Recorder,
 		rng:      xrand.NewWithStream(rt.cfg.Seed, uint64(id)),
 	}
 	th.tx.th = th
@@ -369,12 +397,15 @@ type Thread struct {
 	mem      *Memory
 	wordGran bool // ownership tracked per word rather than per block
 	slotID   bool // table slots are blocks: no cross-chunk slot aliasing
-	desc     txn.Desc
-	rng      *xrand.Rand
-	cm       CM                  // contention manager consulted between attempts
-	lastFP   int                 // access-set size of the last finished attempt
-	opp      otable.ConflictInfo // opponent of the conflict that killed the last attempt
-	tx       Tx
+	// rec is the runtime's history recorder, nil when disabled; cached
+	// here so the hot path pays one nil check, not a config dereference.
+	rec    Recorder
+	desc   txn.Desc
+	rng    *xrand.Rand
+	cm     CM                  // contention manager consulted between attempts
+	lastFP int                 // access-set size of the last finished attempt
+	opp    otable.ConflictInfo // opponent of the conflict that killed the last attempt
+	tx     Tx
 }
 
 // ID returns the thread's transaction identity.
@@ -414,6 +445,12 @@ func (th *Thread) Atomic(fn func(tx *Tx) error) error {
 	th.desc.StartTransaction()
 	for {
 		th.desc.Begin()
+		if r := th.rec; r != nil {
+			// Recorded before the attempt's first acquire: the Begin index
+			// precedes every memory effect of the attempt.
+			r.RecordEvent(opacity.Event{Kind: opacity.KindBegin,
+				Thread: uint32(th.id), Attempt: int32(th.desc.Attempts)})
+		}
 		err, conflicted := th.attempt(fn)
 		if !conflicted {
 			th.cm.Committed(th.lastFP)
@@ -474,12 +511,25 @@ func (th *Thread) commit() {
 	}
 	th.releaseAll()
 	th.ctr.commits.Add(1)
+	if r := th.rec; r != nil {
+		// Recorded after write-back (and release): the Commit index
+		// follows every memory effect of the attempt, so the recorded
+		// [Begin, Commit] interval brackets the linearization point.
+		r.RecordEvent(opacity.Event{Kind: opacity.KindCommit,
+			Thread: uint32(th.id), Attempt: int32(th.desc.Attempts)})
+	}
 }
 
 // rollback discards speculative state and releases ownership.
 func (th *Thread) rollback() {
 	th.desc.Status = txn.Aborted
 	th.releaseAll()
+	if r := th.rec; r != nil {
+		// Every rollback — conflict, user error, or user panic — closes
+		// the recorded attempt, so traces stay quiescent.
+		r.RecordEvent(opacity.Event{Kind: opacity.KindAbort,
+			Thread: uint32(th.id), Attempt: int32(th.desc.Attempts)})
+	}
 }
 
 // releaseAll returns every held slot to the table in first-access order —
@@ -551,17 +601,25 @@ func (tx *Tx) Read(a addr.Addr) uint64 {
 	th := tx.th
 	th.fuzz()
 	word, chunk, widx := th.locate(a)
+	var v uint64
 	if e := th.desc.Set.Lookup(chunk); e != nil {
 		// Read-own-writes: the inline redo value wins over memory. Any
 		// existing entry holds at least read permission, so memory is
 		// directly readable otherwise.
 		if e.WMask&(1<<widx) != 0 {
-			return e.Vals[widx]
+			v = e.Vals[widx]
+		} else {
+			v = th.mem.words[word].Load()
 		}
-		return th.mem.words[word].Load()
+	} else {
+		th.acquireReadChunk(chunk)
+		v = th.mem.words[word].Load()
 	}
-	th.acquireReadChunk(chunk)
-	return th.mem.words[word].Load()
+	if r := th.rec; r != nil {
+		r.RecordEvent(opacity.Event{Kind: opacity.KindRead,
+			Thread: uint32(th.id), Attempt: int32(th.desc.Attempts), Word: word, Value: v})
+	}
+	return v
 }
 
 // Write records v as the speculative value of the word at a, acquiring
@@ -580,6 +638,10 @@ func (tx *Tx) Write(a addr.Addr, v uint64) {
 	e.Word = word - widx
 	e.Vals[widx] = v
 	e.WMask |= 1 << widx
+	if r := th.rec; r != nil {
+		r.RecordEvent(opacity.Event{Kind: opacity.KindWrite,
+			Thread: uint32(th.id), Attempt: int32(th.desc.Attempts), Word: word, Value: v})
+	}
 }
 
 // ReadBlock acquires read ownership of an entire block footprint element
