@@ -84,6 +84,7 @@ func commonFlags(fs *flag.FlagSet) func() figures.Options {
 	kind := fs.String("kind", "tagless", "ownership table under test: tagless | tagged | sharded")
 	cm := fs.String("cm", "backoff", "STM contention-management policy: backoff | adaptive | karma | timestamp | switching")
 	scaleTxns := fs.Int("scale-txns", 0, "override scaling-experiment transactions per goroutine")
+	fallbackAfter := fs.Int("fallback-after", 0, "serial-fallback escalation threshold for the contended CM scaling runs (0 = optimistic only)")
 	record := fs.String("record", "", "directory to write opacity traces of the contended CM scaling runs (verify with 'tmbp check')")
 	return func() figures.Options {
 		o := figures.Paper(*seed)
@@ -109,6 +110,7 @@ func commonFlags(fs *flag.FlagSet) func() figures.Options {
 		if *scaleTxns > 0 {
 			o.ScaleTxns = *scaleTxns
 		}
+		o.FallbackAfter = *fallbackAfter
 		o.RecordDir = *record
 		return o
 	}

@@ -1,0 +1,330 @@
+// Package fault wraps an ownership table in a seeded, deterministic fault
+// injector, so the STM runtime's bounded-time machinery — interruptible CM
+// waits, the serial-fallback gate, leak-free rollback — can be proved under
+// adversity instead of assumed.
+//
+// The injector perturbs the table's behavior in four ways, all driven by a
+// splitmix hash of (seed, operation index) and never by wall-clock time or
+// scheduling, so a run is exactly reproducible from its Config:
+//
+//   - Spurious denials: a fraction (DenyRate) of acquires is denied before
+//     the underlying table is consulted, reporting a phantom opponent. To
+//     the STM this is indistinguishable from losing a race that evaporated
+//     by the retry — the hardest kind of conflict to manage, since waiting
+//     on the reported opponent can never succeed directly.
+//   - Forced abort at the k-th operation: DenyNth denies exactly one
+//     acquire per run by global operation index, pinning a failure to a
+//     reproducible point in the schedule.
+//   - Stalls: one designated transaction (StallTx) is suspended for
+//     StallYields scheduler yields at every acquire and release boundary,
+//     simulating a thread preempted mid-critical-path while it holds
+//     ownership other threads want.
+//   - Delayed releases: a fraction (DelayReleaseRate) of releases spins
+//     for DelayYields yields before returning ownership, stretching the
+//     window in which a completed transaction still blocks its slots.
+//
+// Because denials happen before delegation they leave no state in the
+// underlying table, and stalls/delays only defer work that still runs to
+// completion: the injector never breaks the table's ownership discipline,
+// only the timing and success assumptions layered on top of it. After a
+// workload quiesces, otable.AuditQuiesced(inj.Underlying()) must still
+// find zero held records — that invariant is exactly what the robustness
+// suite asserts.
+package fault
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"tmbp/internal/addr"
+	"tmbp/internal/otable"
+	"tmbp/internal/xrand"
+)
+
+// PhantomTx is the opponent the injector blames for spurious write-denials.
+// It is deliberately far outside the range of registered thread IDs: CM
+// policies that look the opponent up (karma, timestamp) find no registered
+// thread and fall back to their board-ranking path, which is the behavior
+// a real foreign table user would trigger.
+const PhantomTx otable.TxID = 0xfa_0175
+
+// Config selects the faults to inject. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic decision; same seed, same table
+	// kind, and same operation order means the same faults.
+	Seed uint64
+	// DenyRate is the probability in [0, 1] that an acquire is spuriously
+	// denied before the underlying table sees it.
+	DenyRate float64
+	// DenyNth, when nonzero, denies the acquire with global operation
+	// index DenyNth (1-based), independent of DenyRate.
+	DenyNth uint64
+	// StallTx, when nonzero, names the transaction to suspend at every
+	// acquire and release boundary.
+	StallTx otable.TxID
+	// StallYields is how many scheduler yields each StallTx stall lasts
+	// (default 64 when StallTx is set).
+	StallYields int
+	// DelayReleaseRate is the probability in [0, 1] that a release is
+	// delayed by DelayYields scheduler yields before taking effect.
+	DelayReleaseRate float64
+	// DelayYields is the length of a delayed release (default 16).
+	DelayYields int
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	Ops     uint64 // table operations that passed through the injector
+	Denied  uint64 // acquires spuriously denied
+	Stalled uint64 // stalls imposed on StallTx
+	Delayed uint64 // releases delayed
+}
+
+// Injector is an otable.Table (and HandleTable, and BlockSlotted) that
+// forwards to an underlying table, injecting the faults its Config selects.
+// It is safe for concurrent use; all injector state is atomic.
+type Injector struct {
+	tab otable.Table
+	ht  otable.HandleTable // non-nil iff tab implements it
+	cfg Config
+
+	// denyBar and delayBar are cfg rates pre-scaled to uint64 thresholds,
+	// so the per-op decision is one Mix64 and one compare.
+	denyBar  uint64
+	delayBar uint64
+
+	ops     atomic.Uint64
+	denied  atomic.Uint64
+	stalled atomic.Uint64
+	delayed atomic.Uint64
+}
+
+// The injector must be a drop-in table for every STM fast path.
+var (
+	_ otable.Table        = (*Injector)(nil)
+	_ otable.HandleTable  = (*Injector)(nil)
+	_ otable.BlockSlotted = (*Injector)(nil)
+)
+
+// New wraps tab in an Injector. If tab implements otable.HandleTable the
+// injector does too, delegating handles through; otherwise its HandleTable
+// methods emulate the contract with NoHandle and the walking path, so the
+// STM can always be configured with either API against an injected table.
+func New(tab otable.Table, cfg Config) *Injector {
+	if cfg.StallTx != 0 && cfg.StallYields == 0 {
+		cfg.StallYields = 64
+	}
+	if cfg.DelayReleaseRate > 0 && cfg.DelayYields == 0 {
+		cfg.DelayYields = 16
+	}
+	inj := &Injector{tab: tab, cfg: cfg, denyBar: rateBar(cfg.DenyRate),
+		delayBar: rateBar(cfg.DelayReleaseRate)}
+	inj.ht, _ = tab.(otable.HandleTable)
+	return inj
+}
+
+// rateBar converts a probability in [0, 1] to a threshold on a uniform
+// 64-bit hash: hash < bar with probability rate.
+func rateBar(rate float64) uint64 {
+	if rate <= 0 {
+		return 0
+	}
+	if rate >= 1 {
+		return ^uint64(0)
+	}
+	return uint64(rate * float64(1<<63) * 2)
+}
+
+// Underlying returns the wrapped table, for audits and direct statistics.
+func (inj *Injector) Underlying() otable.Table { return inj.tab }
+
+// Stats forwards the wrapped table's operation counters, satisfying
+// otable.Table; the injector's own counters are at FaultStats.
+func (inj *Injector) Stats() otable.Stats { return inj.tab.Stats() }
+
+// FaultStats returns a snapshot of the injector's own counters.
+func (inj *Injector) FaultStats() Stats {
+	return Stats{
+		Ops:     inj.ops.Load(),
+		Denied:  inj.denied.Load(),
+		Stalled: inj.stalled.Load(),
+		Delayed: inj.delayed.Load(),
+	}
+}
+
+// step assigns the operation its global index and reports the decision
+// hash for that index. Indexes are 1-based so DenyNth == 0 means "never".
+func (inj *Injector) step() (op uint64, h uint64) {
+	op = inj.ops.Add(1)
+	return op, xrand.Mix64(inj.cfg.Seed ^ op)
+}
+
+// deny reports whether the acquire with index op / hash h is spuriously
+// denied, and fabricates the ConflictInfo the caller should report.
+// Reads are denied by a phantom writer. Writes holding read shares are
+// denied as failed upgrades (an anonymous foreign reader), matching what
+// a real table reports in that state; fresh writes alternate between the
+// two conflict shapes on a hash bit so both CM paths see injection.
+func (inj *Injector) deny(op, h uint64, write bool, heldReads uint32) (otable.Outcome, otable.ConflictInfo, bool) {
+	if h >= inj.denyBar && op != inj.cfg.DenyNth {
+		return 0, otable.NoConflict, false
+	}
+	inj.denied.Add(1)
+	if !write {
+		return otable.ConflictWriter, otable.WriterConflict(PhantomTx), true
+	}
+	if heldReads > 0 || h&(1<<40) != 0 {
+		return otable.ConflictReaders, otable.ReadersConflict(1), true
+	}
+	return otable.ConflictWriter, otable.WriterConflict(PhantomTx), true
+}
+
+// stall suspends tx for the configured yields when it is the stall target.
+func (inj *Injector) stall(tx otable.TxID) {
+	if tx != 0 && tx == inj.cfg.StallTx {
+		inj.stalled.Add(1)
+		for i := 0; i < inj.cfg.StallYields; i++ {
+			runtime.Gosched()
+		}
+	}
+}
+
+// delay spins before a release when the hash selects it.
+func (inj *Injector) delay(h uint64) {
+	// Rotate the hash so denial and delay decisions for the same op index
+	// are independent bits of the same mix.
+	if h>>1|h<<63 >= inj.delayBar && inj.delayBar != ^uint64(0) {
+		return
+	}
+	inj.delayed.Add(1)
+	for i := 0; i < inj.cfg.DelayYields; i++ {
+		runtime.Gosched()
+	}
+}
+
+// --- otable.Table ---
+
+// Kind names the wrapped table's kind with a fault prefix.
+func (inj *Injector) Kind() string { return "fault+" + inj.tab.Kind() }
+
+// N returns the wrapped table's first-level entry count.
+func (inj *Injector) N() uint64 { return inj.tab.N() }
+
+// SlotOf forwards to the wrapped table.
+func (inj *Injector) SlotOf(b addr.Block) uint64 { return inj.tab.SlotOf(b) }
+
+// AcquireRead injects stalls and spurious denials around the table's own
+// read acquire.
+func (inj *Injector) AcquireRead(tx otable.TxID, b addr.Block) (otable.Outcome, otable.ConflictInfo) {
+	inj.stall(tx)
+	op, h := inj.step()
+	if out, ci, hit := inj.deny(op, h, false, 0); hit {
+		return out, ci
+	}
+	return inj.tab.AcquireRead(tx, b)
+}
+
+// AcquireWrite injects stalls and spurious denials around the table's own
+// write acquire.
+func (inj *Injector) AcquireWrite(tx otable.TxID, b addr.Block, heldReads uint32) (otable.Outcome, otable.ConflictInfo) {
+	inj.stall(tx)
+	op, h := inj.step()
+	if out, ci, hit := inj.deny(op, h, true, heldReads); hit {
+		return out, ci
+	}
+	return inj.tab.AcquireWrite(tx, b, heldReads)
+}
+
+// ReleaseRead injects stalls and delays, then releases. The release always
+// reaches the table: faults defer ownership return, never lose it.
+func (inj *Injector) ReleaseRead(tx otable.TxID, b addr.Block) {
+	inj.stall(tx)
+	_, h := inj.step()
+	inj.delay(h)
+	inj.tab.ReleaseRead(tx, b)
+}
+
+// ReleaseWrite injects stalls and delays, then releases.
+func (inj *Injector) ReleaseWrite(tx otable.TxID, b addr.Block) {
+	inj.stall(tx)
+	_, h := inj.step()
+	inj.delay(h)
+	inj.tab.ReleaseWrite(tx, b)
+}
+
+// Occupied forwards to the wrapped table.
+func (inj *Injector) Occupied() uint64 { return inj.tab.Occupied() }
+
+// Reset resets the wrapped table and zeroes the injector's counters (the
+// fault schedule restarts from operation 1).
+func (inj *Injector) Reset() {
+	inj.tab.Reset()
+	inj.ops.Store(0)
+	inj.denied.Store(0)
+	inj.stalled.Store(0)
+	inj.delayed.Store(0)
+}
+
+// --- otable.BlockSlotted ---
+
+// SlotsAreBlocks forwards the wrapped table's slotting claim (false when
+// the table does not make one).
+func (inj *Injector) SlotsAreBlocks() bool {
+	bs, ok := inj.tab.(otable.BlockSlotted)
+	return ok && bs.SlotsAreBlocks()
+}
+
+// --- otable.HandleTable ---
+
+// AcquireReadH is AcquireRead through the handle API, delegating handles
+// when the wrapped table issues them and emulating with NoHandle when not.
+func (inj *Injector) AcquireReadH(tx otable.TxID, b addr.Block) (otable.Outcome, otable.ConflictInfo, otable.Handle) {
+	inj.stall(tx)
+	op, h := inj.step()
+	if out, ci, hit := inj.deny(op, h, false, 0); hit {
+		return out, ci, otable.NoHandle
+	}
+	if inj.ht != nil {
+		return inj.ht.AcquireReadH(tx, b)
+	}
+	out, ci := inj.tab.AcquireRead(tx, b)
+	return out, ci, otable.NoHandle
+}
+
+// AcquireWriteH is AcquireWrite through the handle API.
+func (inj *Injector) AcquireWriteH(tx otable.TxID, b addr.Block, heldReads uint32, hnd otable.Handle) (otable.Outcome, otable.ConflictInfo, otable.Handle) {
+	inj.stall(tx)
+	op, h := inj.step()
+	if out, ci, hit := inj.deny(op, h, true, heldReads); hit {
+		return out, ci, otable.NoHandle
+	}
+	if inj.ht != nil {
+		return inj.ht.AcquireWriteH(tx, b, heldReads, hnd)
+	}
+	out, ci := inj.tab.AcquireWrite(tx, b, heldReads)
+	return out, ci, otable.NoHandle
+}
+
+// ReleaseReadH is ReleaseRead through the handle API.
+func (inj *Injector) ReleaseReadH(tx otable.TxID, b addr.Block, hnd otable.Handle) {
+	inj.stall(tx)
+	_, h := inj.step()
+	inj.delay(h)
+	if inj.ht != nil {
+		inj.ht.ReleaseReadH(tx, b, hnd)
+		return
+	}
+	inj.tab.ReleaseRead(tx, b)
+}
+
+// ReleaseWriteH is ReleaseWrite through the handle API.
+func (inj *Injector) ReleaseWriteH(tx otable.TxID, b addr.Block, hnd otable.Handle) {
+	inj.stall(tx)
+	_, h := inj.step()
+	inj.delay(h)
+	if inj.ht != nil {
+		inj.ht.ReleaseWriteH(tx, b, hnd)
+		return
+	}
+	inj.tab.ReleaseWrite(tx, b)
+}

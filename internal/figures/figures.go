@@ -55,6 +55,10 @@ type Options struct {
 	// ScaleTxns is the transactions-per-goroutine count for the scaling
 	// experiment.
 	ScaleTxns int
+	// FallbackAfter, when positive, enables the STM's serial-fallback
+	// escalation in the contended CM scaling runs (stm.Config.FallbackAfter)
+	// and adds a fallback-commits table to the report.
+	FallbackAfter int
 	// RecordDir, when non-empty, makes the contended CM scaling runs
 	// record their transactional histories as opacity trace files
 	// (scale-cm-<policy>-g<N>.trace) in this directory, for offline

@@ -61,7 +61,9 @@ var (
 type scaleResult struct {
 	throughput float64 // committed transactions per second
 	abortRate  float64
-	shards     int // sharded only
+	shards     int    // sharded only
+	maxConsec  uint64 // longest consecutive-abort run of any thread
+	fbCommits  uint64 // commits made under the serial-fallback token
 }
 
 // Scale sweeps goroutines × table organizations over the disjoint-stripe
@@ -123,11 +125,11 @@ func Scale(o Options) ([]*report.Table, error) {
 	thr.Note("per-thread stripes are physically disjoint: tagless aborts are all false conflicts; tagged and sharded run conflict-free")
 	ab.Note("%s", note)
 
-	cmThr, cmAb, err := scaleCM(o)
+	cmTables, err := scaleCM(o)
 	if err != nil {
 		return nil, err
 	}
-	return []*report.Table{thr, ab, cmThr, cmAb}, nil
+	return append([]*report.Table{thr, ab}, cmTables...), nil
 }
 
 // cmName resolves the configured CM policy name ("" = the default).
@@ -145,32 +147,58 @@ func cmName(o Options) string {
 // scenario where adaptive feedback, karma seniority, and the
 // opponent-aware timestamp/switching policies (which wait on the specific
 // transaction that denied the acquire) are supposed to beat fixed backoff.
-func scaleCM(o Options) (*report.Table, *report.Table, error) {
+func scaleCM(o Options) ([]*report.Table, error) {
 	policies := stm.CMKinds()
 	thr := report.New("Scaling: contended committed txns/sec by CM policy",
 		append([]string{"goroutines"}, policies...)...)
 	ab := report.New("Scaling: contended abort rate by CM policy",
 		append([]string{"goroutines"}, policies...)...)
+	// The tail table: the longest consecutive-abort run any single thread
+	// suffered, per cell. The mean abort rate above hides exactly this —
+	// a policy can post a healthy average while starving one victim.
+	tail := report.New("Scaling: contended max consecutive aborts by CM policy",
+		append([]string{"goroutines"}, policies...)...)
+	var fb *report.Table
+	if o.FallbackAfter > 0 {
+		fb = report.New("Scaling: contended serial-fallback commits by CM policy",
+			append([]string{"goroutines"}, policies...)...)
+	}
 	for _, g := range ScaleGoroutines {
 		thrRow := []string{report.Int(g)}
 		abRow := []string{report.Int(g)}
+		tailRow := []string{report.Int(g)}
+		fbRow := []string{report.Int(g)}
 		for _, policy := range policies {
 			res, err := scaleCMRun(policy, g, o)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			thrRow = append(thrRow, report.SI(uint64(res.throughput)))
 			abRow = append(abRow, report.Pct(res.abortRate))
+			tailRow = append(tailRow, report.Int(int(res.maxConsec)))
+			fbRow = append(fbRow, report.Int(int(res.fbCommits)))
 		}
 		thr.Add(thrRow...)
 		ab.Add(abRow...)
+		tail.Add(tailRow...)
+		if fb != nil {
+			fb.Add(fbRow...)
+		}
 	}
 	note := fmt.Sprintf("tagged table, N=%d entries, %d shared hot blocks, W=%d read-modify-writes/txn, %d txns/goroutine, fuzz=%.2f, GOMAXPROCS=%d",
 		ScaleCMTable, ScaleCMBlocks, ScaleCMWrites, o.ScaleTxns, ScaleCMFuzz, runtime.GOMAXPROCS(0))
 	thr.Note("%s", note)
 	thr.Note("all threads draw blocks from one hot pool: aborts are true conflicts and the CM policy sets the retry schedule")
 	ab.Note("%s", note)
-	return thr, ab, nil
+	tail.Note("%s", note)
+	tail.Note("longest run of consecutive conflict aborts suffered by any one thread: the starvation tail the mean abort rate hides")
+	tables := []*report.Table{thr, ab, tail}
+	if fb != nil {
+		fb.Note("%s", note)
+		fb.Note("commits made while holding the runtime-wide serial token (FallbackAfter=%d): how often optimism was abandoned to guarantee progress", o.FallbackAfter)
+		tables = append(tables, fb)
+	}
+	return tables, nil
 }
 
 // scaleCMRun measures one contended cell: `goroutines` goroutines each
@@ -187,7 +215,8 @@ func scaleCMRun(policy string, goroutines int, o Options) (scaleResult, error) {
 	}
 	words := ScaleCMBlocks * blockWords
 	mem := stm.NewMemory(words)
-	cfg := stm.Config{Table: tab, Memory: mem, Seed: o.Seed, CM: policy, FuzzYield: ScaleCMFuzz}
+	cfg := stm.Config{Table: tab, Memory: mem, Seed: o.Seed, CM: policy,
+		FuzzYield: ScaleCMFuzz, FallbackAfter: o.FallbackAfter}
 	var trace *opacity.Log
 	if o.RecordDir != "" {
 		trace = opacity.NewLog()
@@ -230,7 +259,8 @@ func scaleCMRun(policy string, goroutines int, o Options) (scaleResult, error) {
 	}
 
 	st := rt.Stats()
-	res := scaleResult{abortRate: st.AbortRate()}
+	res := scaleResult{abortRate: st.AbortRate(),
+		maxConsec: st.MaxConsecutiveAborts, fbCommits: st.FallbackCommits}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.throughput = float64(st.Commits) / secs
 	}

@@ -69,7 +69,12 @@ import (
 // CM is the per-thread contention manager consulted by Atomic's retry
 // loop. Implementations are owned by a single thread and need no internal
 // synchronization (shared feedback state, as in karma and timestamp, must
-// synchronize on its own). Aborted may block; that is the point.
+// synchronize on its own). Aborted may block; that is the point — but a
+// block must be interruptible: every built-in policy waits through the
+// thread's waiter, whose yield loops poll the in-flight AtomicCtx context
+// and give up as soon as it is cancelled. Custom policies that wait should
+// poll Thread.Cancelled the same way, or cancellation is only honored
+// between attempts.
 type CM interface {
 	// Kind names the policy ("backoff", "adaptive", "karma", ...).
 	Kind() string
@@ -110,19 +115,20 @@ func newCM(rt *Runtime, th *Thread) CM {
 	if rt.cfg.NewCM != nil {
 		return rt.cfg.NewCM(th)
 	}
+	w := &th.w
 	switch rt.cfg.CM {
 	case "", "backoff":
-		return &backoffCM{rng: th.rng, base: base, max: max}
+		return &backoffCM{w: w, base: base, max: max}
 	case "adaptive":
-		return &adaptiveCM{rng: th.rng, base: base, max: max}
+		return &adaptiveCM{w: w, base: base, max: max}
 	case "karma":
-		return &karmaCM{rng: th.rng, rt: rt, ctr: th.ctr, base: base, max: max}
+		return &karmaCM{w: w, rt: rt, ctr: th.ctr, base: base, max: max}
 	case "timestamp":
-		return &timestampCM{rng: th.rng, rt: rt, ctr: th.ctr, base: base, max: max}
+		return &timestampCM{w: w, rt: rt, ctr: th.ctr, base: base, max: max}
 	case "switching":
 		return &switchingCM{
-			bo: backoffCM{rng: th.rng, base: base, max: max},
-			ts: timestampCM{rng: th.rng, rt: rt, ctr: th.ctr, base: base, max: max},
+			bo: backoffCM{w: w, base: base, max: max},
+			ts: timestampCM{w: w, rt: rt, ctr: th.ctr, base: base, max: max},
 		}
 	default:
 		// Config.CM was validated in New; this is unreachable.
@@ -130,13 +136,30 @@ func newCM(rt *Runtime, th *Thread) CM {
 	}
 }
 
-// yieldBackoff is the shared waiting skeleton: yield the processor a
-// randomized number of times, bounded by an exponentially growing limit.
-// Yielding (rather than spinning) lets the conflicting transaction finish
-// and — critically — reshuffles the goroutine schedule, which breaks the
+// waiter is the one waiting primitive of the runtime: every yield loop a
+// built-in policy (or the serial-fallback gate) parks in goes through a
+// waiter method, and every iteration of every such loop polls the owning
+// thread's in-flight context. That single choke point is what makes the
+// whole runtime's waits interruptible — cancelling an AtomicCtx context
+// unparks the thread within one scheduler yield, no matter which policy it
+// is waiting under, without any wait-side channels or timers. When no
+// context is in flight (plain Atomic) the poll is a nil check.
+//
+// A waiter is embedded in its Thread and owned by it; like the policies it
+// serves, it needs no synchronization.
+type waiter struct {
+	rng *xrand.Rand
+	th  *Thread
+}
+
+// backoff is the shared waiting skeleton: yield the processor a randomized
+// number of times, bounded by an exponentially growing limit. Yielding
+// (rather than spinning) lets the conflicting transaction finish and —
+// critically — reshuffles the goroutine schedule, which breaks the
 // phase-locked retry cycles that deterministic workloads otherwise fall
 // into on machines with few cores. base < 0 disables waiting entirely.
-func yieldBackoff(rng *xrand.Rand, base, maxYields, attempt int) {
+// The wait ends early when the thread's context is cancelled.
+func (w *waiter) backoff(base, maxYields, attempt int) {
 	if base < 0 {
 		return
 	}
@@ -147,8 +170,11 @@ func yieldBackoff(rng *xrand.Rand, base, maxYields, attempt int) {
 	if limit <= 0 {
 		return
 	}
-	yields := rng.Intn(limit) + 1
+	yields := w.rng.Intn(limit) + 1
 	for i := 0; i < yields; i++ {
+		if w.th.cancelled() {
+			return
+		}
 		runtime.Gosched()
 	}
 }
@@ -156,14 +182,14 @@ func yieldBackoff(rng *xrand.Rand, base, maxYields, attempt int) {
 // backoffCM is the original fixed policy: randomized exponential backoff
 // between BackoffBase and BackoffMax scheduler yields.
 type backoffCM struct {
-	rng       *xrand.Rand
+	w         *waiter
 	base, max int
 }
 
 func (c *backoffCM) Kind() string { return "backoff" }
 
 func (c *backoffCM) Aborted(attempt, _ int, _ otable.ConflictInfo) {
-	yieldBackoff(c.rng, c.base, c.max, attempt)
+	c.w.backoff(c.base, c.max, attempt)
 }
 
 func (c *backoffCM) Committed(int) {}
@@ -179,7 +205,7 @@ const adaptiveEWMAShift = 3
 // cap collapses to BackoffBase (immediate-ish retry), near 1 it reaches
 // the full BackoffMax.
 type adaptiveCM struct {
-	rng       *xrand.Rand
+	w         *waiter
 	base, max int
 	rate      float64
 }
@@ -189,7 +215,7 @@ func (c *adaptiveCM) Kind() string { return "adaptive" }
 func (c *adaptiveCM) Aborted(attempt, _ int, _ otable.ConflictInfo) {
 	c.rate += (1 - c.rate) / (1 << adaptiveEWMAShift)
 	budget := c.base + int(c.rate*float64(c.max-c.base))
-	yieldBackoff(c.rng, c.base, budget, attempt)
+	c.w.backoff(c.base, budget, attempt)
 }
 
 func (c *adaptiveCM) Committed(int) {
@@ -210,16 +236,20 @@ func seniorYieldCap(max int) int {
 	return c
 }
 
-// waitForOpponent parks the caller until the opponent completes the attempt
+// awaitOpponent parks the caller until the opponent completes the attempt
 // it was observed in — its progress counter advances, meaning commit or
 // rollback has released every slot it held, including the contested one —
 // or the yield budget runs out (the opponent may be descheduled; a bounded
 // wait keeps the caller live regardless). oppStamp is the opponent stamp
 // the caller based its decision on: a stamp change also ends the wait,
-// since it means the observed transaction is gone.
-func waitForOpponent(opp *threadCounters, oppStamp uint64, maxYields int) {
+// since it means the observed transaction is gone. Like backoff, the wait
+// ends early when the thread's context is cancelled.
+func (w *waiter) awaitOpponent(opp *threadCounters, oppStamp uint64, maxYields int) {
 	done := opp.completions()
 	for i := 0; i < maxYields; i++ {
+		if w.th.cancelled() {
+			return
+		}
 		runtime.Gosched()
 		if opp.completions() != done || opp.stamp.Load() != oppStamp {
 			return
@@ -239,7 +269,7 @@ func waitForOpponent(opp *threadCounters, oppStamp uint64, maxYields int) {
 // reads go through the runtime's epoch-published board — one atomic
 // pointer load, no mutex on the abort path.
 type karmaCM struct {
-	rng       *xrand.Rand
+	w         *waiter
 	rt        *Runtime
 	ctr       *threadCounters
 	base, max int
@@ -266,10 +296,10 @@ func (c *karmaCM) Aborted(attempt, footprint int, opp otable.ConflictInfo) {
 	if senior {
 		// Seniority earns a short leash, not a spin: retry on an eighth of
 		// the junior backoff budget.
-		yieldBackoff(c.rng, c.base, seniorYieldCap(c.max), attempt)
+		c.w.backoff(c.base, seniorYieldCap(c.max), attempt)
 		return
 	}
-	yieldBackoff(c.rng, c.base, c.max, attempt)
+	c.w.backoff(c.base, c.max, attempt)
 }
 
 func (c *karmaCM) Committed(int) {
@@ -312,7 +342,7 @@ func (c *karmaCM) seniorOverall() bool {
 // frees the slot is identified and watched, or the wait collapses to a
 // single yield.
 type timestampCM struct {
-	rng       *xrand.Rand
+	w         *waiter
 	rt        *Runtime
 	ctr       *threadCounters
 	base, max int
@@ -335,19 +365,19 @@ func (c *timestampCM) Aborted(attempt, _ int, opp otable.ConflictInfo) {
 				// The opponent is senior: wait for that specific
 				// transaction to complete an attempt (releasing the
 				// contested slot), not a blind backoff.
-				waitForOpponent(ob, os, c.max)
+				c.w.awaitOpponent(ob, os, c.max)
 				return
 			}
 			// We are senior (or the opponent never conflicted, so it has
 			// no standing to be yielded to): retry on the short senior
 			// leash and take the slot at the release race.
-			yieldBackoff(c.rng, c.base, seniorYieldCap(c.max), attempt)
+			c.w.backoff(c.base, seniorYieldCap(c.max), attempt)
 			return
 		}
 	}
 	// Anonymous readers or an unregistered opponent: no one specific to
 	// wait for — fall back to the randomized backoff skeleton.
-	yieldBackoff(c.rng, c.base, c.max, attempt)
+	c.w.backoff(c.base, c.max, attempt)
 }
 
 func (c *timestampCM) Committed(int) {

@@ -1,6 +1,8 @@
 package stm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -705,5 +707,52 @@ func TestCMPoliciesUnderHammer(t *testing.T) {
 				t.Fatalf("%s: lost updates: memory sum = %d, want %d", policy, sum, want)
 			}
 		})
+	}
+}
+
+// TestCMCancelRacingCommitStillCommits is the commit-race half of the
+// cancellation contract, stepped deterministically: the transaction
+// function cancels its own context after its last write, so the context
+// is guaranteed done before the commit point — yet the commit must win.
+// The context is consulted only between attempts and inside waits, never
+// after a successful attempt, so a transaction that reached its commit
+// point reports success, not a spurious ctx.Err(), and the committed
+// state is visible. Run across every table kind and policy: the guarantee
+// belongs to the retry loop, not to any one policy's waiting discipline.
+func TestCMCancelRacingCommitStillCommits(t *testing.T) {
+	for _, kind := range otable.Kinds() {
+		for _, policy := range CMKinds() {
+			t.Run(kind+"/"+policy, func(t *testing.T) {
+				t.Parallel()
+				rt := newCMRuntime(t, kind, policy)
+				mem := rt.Memory()
+				th := rt.NewThread()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				if err := th.AtomicCtx(ctx, func(tx *Tx) error {
+					tx.Write(mem.WordAddr(0), 41)
+					tx.Write(mem.WordAddr(8), 42)
+					cancel() // done strictly before the commit point
+					return nil
+				}); err != nil {
+					t.Fatalf("AtomicCtx = %v, want success for an attempt that reached commit", err)
+				}
+				if a, b := mem.LoadDirect(mem.WordAddr(0)), mem.LoadDirect(mem.WordAddr(8)); a != 41 || b != 42 {
+					t.Fatalf("committed state = (%d, %d), want (41, 42)", a, b)
+				}
+				if st := rt.Stats(); st.Commits != 1 {
+					t.Fatalf("commits = %d, want 1", st.Commits)
+				}
+				// A subsequent AtomicCtx on the now-cancelled context must
+				// fail cleanly without running the function.
+				err := th.AtomicCtx(ctx, func(tx *Tx) error {
+					t.Error("function ran under a cancelled context")
+					return nil
+				})
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("follow-up AtomicCtx = %v, want context.Canceled", err)
+				}
+			})
+		}
 	}
 }

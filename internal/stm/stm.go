@@ -56,6 +56,7 @@
 package stm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -179,6 +180,15 @@ type Config struct {
 	// NewCM, when non-nil, overrides CM with a custom per-thread policy
 	// constructor, called once from NewThread for each thread.
 	NewCM func(th *Thread) CM
+	// FallbackAfter, when positive, bounds how long a transaction stays
+	// optimistic: after that many consecutive conflict aborts the thread
+	// escalates to the runtime-wide serial token — a FIFO ticket that
+	// stops new optimistic attempts, waits for in-flight ones to drain,
+	// and then runs the starved transaction with no optimistic opponents
+	// at all (the HTM-style global-lock fallback). Commits made while
+	// holding the token are counted in Stats.FallbackCommits. Zero (the
+	// default) disables escalation and its per-attempt gate check.
+	FallbackAfter int
 	// Recorder, when non-nil, receives the runtime's transactional history
 	// for offline opacity checking (see the Recorder interface and
 	// `tmbp check`). Nil disables recording at zero cost.
@@ -186,10 +196,6 @@ type Config struct {
 	// Seed makes thread-local randomized backoff reproducible.
 	Seed uint64
 }
-
-// ErrTooManyAttempts is returned by Atomic when a transaction exceeds
-// MaxAttempts without committing.
-var ErrTooManyAttempts = errors.New("stm: transaction exceeded maximum attempts")
 
 // Runtime is a configured STM instance shared by all threads of a program.
 //
@@ -206,6 +212,12 @@ type Runtime struct {
 	// lower stamp = older = senior. Drawn lazily (on a transaction's first
 	// abort), so conflict-free execution never touches it.
 	clock atomic.Uint64
+
+	// Serial-fallback gate: a FIFO ticket lock over the whole runtime (see
+	// fallback.go). fbTicket counts tickets issued, fbServing the ticket
+	// currently admitted; the gate is free exactly when they are equal.
+	fbTicket  atomic.Uint64
+	fbServing atomic.Uint64
 
 	mu sync.Mutex // serializes board republication (NewThread)
 	// board is the sole thread registry: the epoch-published slice of
@@ -245,8 +257,20 @@ type threadCounters struct {
 	ntConfl atomic.Uint64 // strong-isolation probes denied by a transaction
 	karma   atomic.Uint64 // published karma account (karma CM policy only)
 	stamp   atomic.Uint64 // published transaction timestamp (timestamp CM; 0 = unstamped)
-	id      otable.TxID   // owning thread, for deterministic seniority tie-breaks
-	_       [128 - 6*8 - 4]byte
+	// started/finished bracket attempts (incremented at Begin and after
+	// the releasing commit/rollback respectively), so started == finished
+	// means "no attempt of this thread holds any table slot". The serial
+	// fallback's drain watches the pair; they are maintained only when
+	// Config.FallbackAfter enables the fallback.
+	started  atomic.Uint64
+	finished atomic.Uint64
+	// fbCommits counts commits made while holding the serial token;
+	// maxStreak publishes the longest run of consecutive conflict aborts
+	// the thread has suffered (tail-behavior signal, see Stats).
+	fbCommits atomic.Uint64
+	maxStreak atomic.Uint64
+	id        otable.TxID // owning thread, for deterministic seniority tie-breaks
+	_         [128 - 10*8 - 4]byte
 }
 
 // completions reports how many attempts (commits or aborts) the thread has
@@ -269,6 +293,9 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.FuzzYield < 0 || cfg.FuzzYield >= 1 {
 		return nil, fmt.Errorf("stm: FuzzYield = %v must be in [0, 1)", cfg.FuzzYield)
+	}
+	if cfg.FallbackAfter < 0 {
+		return nil, fmt.Errorf("stm: FallbackAfter = %d must be >= 0", cfg.FallbackAfter)
 	}
 	if !validCM(cfg.CM) {
 		return nil, fmt.Errorf("stm: unknown CM policy %q (want one of %v)", cfg.CM, CMKinds())
@@ -296,6 +323,14 @@ type Stats struct {
 	NTProbes uint64
 	// NTConflicts counts those denied by an active transaction.
 	NTConflicts uint64
+	// FallbackCommits counts commits made while holding the serial token
+	// (Config.FallbackAfter): how often the runtime had to give up on
+	// optimism to guarantee progress.
+	FallbackCommits uint64
+	// MaxConsecutiveAborts is the longest run of consecutive conflict
+	// aborts any single thread suffered — the tail the mean abort rate
+	// hides. A commit, user error, or terminal abort ends a run.
+	MaxConsecutiveAborts uint64
 }
 
 // Stats returns a snapshot of the runtime counters, aggregated over all
@@ -314,6 +349,10 @@ func (rt *Runtime) Stats() Stats {
 		s.Aborts += c.aborts.Load()
 		s.NTProbes += c.ntReads.Load()
 		s.NTConflicts += c.ntConfl.Load()
+		s.FallbackCommits += c.fbCommits.Load()
+		if streak := c.maxStreak.Load(); streak > s.MaxConsecutiveAborts {
+			s.MaxConsecutiveAborts = streak
+		}
 	}
 	return s
 }
@@ -370,10 +409,12 @@ func (rt *Runtime) NewThread() *Thread {
 		mem:      rt.cfg.Memory,
 		wordGran: rt.cfg.Granularity == WordGranularity,
 		slotID:   slotID,
+		fb:       rt.cfg.FallbackAfter,
 		rec:      rt.cfg.Recorder,
 		rng:      xrand.NewWithStream(rt.cfg.Seed, uint64(id)),
 	}
 	th.tx.th = th
+	th.w = waiter{rng: th.rng, th: th}
 	th.cm = newCM(rt, th)
 	return th
 }
@@ -397,12 +438,20 @@ type Thread struct {
 	mem      *Memory
 	wordGran bool // ownership tracked per word rather than per block
 	slotID   bool // table slots are blocks: no cross-chunk slot aliasing
+	fb       int  // Config.FallbackAfter (0 = serial fallback disabled)
 	// rec is the runtime's history recorder, nil when disabled; cached
 	// here so the hot path pays one nil check, not a config dereference.
-	rec    Recorder
-	desc   txn.Desc
-	rng    *xrand.Rand
-	cm     CM                  // contention manager consulted between attempts
+	rec  Recorder
+	desc txn.Desc
+	rng  *xrand.Rand
+	w    waiter // the cancellable yield loop all built-in waits go through
+	cm   CM     // contention manager consulted between attempts
+	// ctx is the context of the in-flight AtomicCtx call, nil during plain
+	// Atomic; the waiter polls it so CM waits and fallback-gate waits end
+	// promptly on cancellation. Only the owning goroutine touches it.
+	ctx    context.Context
+	active bool                // a transaction is executing: nesting guard
+	streak int                 // consecutive conflict aborts of the running transaction
 	lastFP int                 // access-set size of the last finished attempt
 	opp    otable.ConflictInfo // opponent of the conflict that killed the last attempt
 	tx     Tx
@@ -440,10 +489,89 @@ func (th *Thread) fuzz() {
 // fn returns an error, or the attempt budget is exhausted. How the thread
 // waits between retries is the contention manager's decision (Config.CM).
 // A non-nil error from fn aborts the transaction and is returned unchanged;
-// memory is untouched in that case.
+// memory is untouched in that case. Runtime failures (the MaxAttempts
+// budget) are reported as a *AbortError wrapping ErrTooManyAttempts.
+//
+// Atomic must not be called from inside a running transaction's function on
+// the same Thread: the nested call fails with ErrNestedAtomic, leaving the
+// enclosing transaction intact.
 func (th *Thread) Atomic(fn func(tx *Tx) error) error {
+	return th.atomic(nil, fn)
+}
+
+// AtomicCtx is Atomic bounded by a context: cancellation and deadline are
+// honored between attempts and inside every built-in contention-management
+// wait (including the opponent-completion waits of the timestamp policy and
+// the serial-fallback gate), so a blocked retry loop unwinds within a
+// scheduler yield of the context ending. The attempt that was in flight
+// when cancellation is detected has already rolled back — its ownership
+// records are released and its Abort is recorded for opacity — and the
+// returned *AbortError wraps ctx.Err() with the attempt count and the last
+// denying opponent.
+//
+// Cancellation never races a commit's outcome: the context is only
+// consulted before starting an attempt, so once an attempt reaches its
+// commit point the transaction reports success even if the context was
+// cancelled while committing. A nil ctx behaves exactly like Atomic.
+func (th *Thread) AtomicCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return th.atomic(ctx, fn)
+}
+
+// atomic is the shared retry loop behind Atomic and AtomicCtx.
+func (th *Thread) atomic(ctx context.Context, fn func(tx *Tx) error) error {
+	if th.active {
+		return ErrNestedAtomic
+	}
+	th.active = true
+	th.ctx = ctx
+	serial := false
+	defer func() {
+		// The deferred form keeps the guard and gate consistent on every
+		// exit, including a propagating user panic.
+		if serial {
+			th.rt.serialRelease()
+		}
+		th.streak = 0
+		th.active = false
+		th.ctx = nil
+	}()
 	th.desc.StartTransaction()
+	th.opp = otable.NoConflict
 	for {
+		if ctx != nil && ctx.Err() != nil {
+			// Between attempts: the previous attempt (if any) has rolled
+			// back and released its records. Give the CM its completion
+			// callback so per-transaction state (stamps, karma) resets.
+			if th.desc.Attempts > 0 {
+				th.cm.Committed(th.lastFP)
+			}
+			return th.abortError(ctx.Err())
+		}
+		if th.fb > 0 {
+			if !serial {
+				if th.desc.Attempts >= th.fb {
+					// FallbackAfter consecutive aborts: stop being
+					// optimistic. Take the serial token and run with the
+					// runtime drained.
+					if err := th.rt.serialAcquire(th); err != nil {
+						th.cm.Committed(th.lastFP)
+						return th.abortError(err)
+					}
+					serial = true
+				} else if err := th.rt.serialWait(th); err != nil {
+					// Another thread holds (or is queued for) the token:
+					// park this optimistic attempt until the gate is free.
+					if th.desc.Attempts > 0 {
+						th.cm.Committed(th.lastFP)
+					}
+					return th.abortError(err)
+				}
+			}
+			// Counted on serial attempts too (their commit/rollback bumps
+			// finished), keeping started == finished at quiescence — the
+			// condition every future drain waits for.
+			th.ctr.started.Add(1)
+		}
 		th.desc.Begin()
 		if r := th.rec; r != nil {
 			// Recorded before the attempt's first acquire: the Begin index
@@ -457,17 +585,38 @@ func (th *Thread) Atomic(fn func(tx *Tx) error) error {
 			if err != nil {
 				return err // user abort
 			}
+			if serial {
+				th.ctr.fbCommits.Add(1)
+			}
 			return nil // committed
 		}
 		th.ctr.aborts.Add(1)
+		th.streak++
+		if uint64(th.streak) > th.ctr.maxStreak.Load() {
+			th.ctr.maxStreak.Store(uint64(th.streak))
+		}
 		if th.rt.cfg.MaxAttempts > 0 && th.desc.Attempts >= th.rt.cfg.MaxAttempts {
 			th.desc.Status = txn.Aborted
 			th.cm.Committed(th.lastFP)
-			return fmt.Errorf("%w (%d attempts)", ErrTooManyAttempts, th.desc.Attempts)
+			return th.abortError(ErrTooManyAttempts)
 		}
 		th.cm.Aborted(th.desc.Attempts, th.lastFP, th.opp)
 	}
 }
+
+// cancelled reports whether the in-flight AtomicCtx context has ended; it
+// is the poll every waiter loop makes. Plain Atomic never cancels.
+func (th *Thread) cancelled() bool {
+	ctx := th.ctx
+	return ctx != nil && ctx.Err() != nil
+}
+
+// Cancelled reports whether the context of the thread's in-flight AtomicCtx
+// call has been cancelled or has expired. It is intended for custom CM
+// policies (Config.NewCM): a policy that waits should poll Cancelled and
+// return early when it reports true, exactly as the built-in policies do —
+// otherwise cancellation is honored only between attempts.
+func (th *Thread) Cancelled() bool { return th.cancelled() }
 
 // attempt runs fn once. It reports the user error (nil on commit) and
 // whether the attempt was killed by an ownership conflict.
@@ -510,6 +659,11 @@ func (th *Thread) commit() {
 		}
 	}
 	th.releaseAll()
+	if th.fb > 0 {
+		// Release precedes finished: when the serial drain observes
+		// started == finished, every record this attempt held is free.
+		th.ctr.finished.Add(1)
+	}
 	th.ctr.commits.Add(1)
 	if r := th.rec; r != nil {
 		// Recorded after write-back (and release): the Commit index
@@ -524,6 +678,11 @@ func (th *Thread) commit() {
 func (th *Thread) rollback() {
 	th.desc.Status = txn.Aborted
 	th.releaseAll()
+	if th.fb > 0 {
+		// Counted on every attempt-ending path — conflict, user error,
+		// user panic — so the serial drain never waits on a dead attempt.
+		th.ctr.finished.Add(1)
+	}
 	if r := th.rec; r != nil {
 		// Every rollback — conflict, user error, or user panic — closes
 		// the recorded attempt, so traces stay quiescent.

@@ -123,9 +123,22 @@ type ConflictInfo = otable.ConflictInfo
 // "adaptive", "karma", "timestamp", "switching").
 func CMKinds() []string { return stm.CMKinds() }
 
-// ErrTooManyAttempts is returned by Thread.Atomic when the retry budget is
-// exhausted.
+// AbortError is the typed error Thread.Atomic and Thread.AtomicCtx return
+// when a transaction terminates without committing for a runtime reason —
+// retry budget exhausted or context cancelled. It carries the attempt
+// count and the opponent that denied the last conflicted acquire; unwrap
+// the cause with errors.Is/errors.As.
+type AbortError = stm.AbortError
+
+// ErrTooManyAttempts is the cause wrapped by the *AbortError returned when
+// the retry budget (STMConfig.MaxAttempts) is exhausted; test with
+// errors.Is.
 var ErrTooManyAttempts = stm.ErrTooManyAttempts
+
+// ErrNestedAtomic is returned by Atomic/AtomicCtx when called from inside
+// a running transaction's function on the same Thread; the runtime does
+// not support nesting (see stm.ErrNestedAtomic).
+var ErrNestedAtomic = stm.ErrNestedAtomic
 
 // Model types.
 type (
