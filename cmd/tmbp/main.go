@@ -21,6 +21,9 @@
 //	        plus a contended goroutines x CM-policy comparison
 //	stm     end-to-end STM run: tagless vs tagged abort rates
 //	bench   STM latency/allocation/abort-rate suite (-json for tooling)
+//	load    open-loop service benchmark: seeded arrivals against the tmds
+//	        structures, tail-latency histograms per structure x CM policy
+//	        (-virtual for byte-reproducible rows, -json for tooling)
 //	check   verify recorded transactional traces for opacity
 //	model   evaluate the conflict model at one configuration
 //	all     every figure above, in paper order (scale, stm, and model are
@@ -30,8 +33,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tmbp/internal/figures"
@@ -40,18 +45,33 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	if err := run(cmd, args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2) // the FlagSet already printed its usage
+		}
 		fmt.Fprintln(os.Stderr, "tmbp:", err)
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tmbp <subcommand> [flags]
+// subcommands lists every dispatchable subcommand, in usage order. The
+// dispatch-table test in main_test.go checks each entry both dispatches
+// and appears in the usage text, so a new subcommand cannot ship
+// undocumented (nor a usage line go stale).
+func subcommands() []string {
+	return []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6",
+		"sizing", "tagged", "ablation", "isolation",
+		"scale", "stm", "bench", "load", "check", "model", "all",
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: tmbp <subcommand> [flags]
 
 subcommands:
   fig2 | fig3 | fig4 | fig5 | fig6   regenerate a figure
@@ -62,6 +82,8 @@ subcommands:
   scale                              throughput scaling across organizations
   stm                                end-to-end STM abort-rate comparison
   bench                              ns/op, allocs/op, abort-rate suite (-json)
+  load                               open-loop tail-latency benchmark over the
+                                     tmds structures (-virtual, -json)
   check <trace-file>...              verify recorded traces for opacity
   model                              evaluate the conflict model at a point
   all                                run every figure in paper order
@@ -117,7 +139,9 @@ func commonFlags(fs *flag.FlagSet) func() figures.Options {
 }
 
 func run(cmd string, args []string) error {
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	// ContinueOnError (not ExitOnError) so flag-parse failures and -h come
+	// back as errors the caller — and the dispatch tests — can observe.
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 
 	var figFn func(figures.Options) ([]*report.Table, error)
@@ -150,13 +174,15 @@ func run(cmd string, args []string) error {
 		return runCheck(fs, args)
 	case "bench":
 		return runBench(fs, args)
+	case "load":
+		return runLoad(fs, args)
 	case "model":
 		return runModel(fs, args)
 	case "-h", "--help", "help":
-		usage()
+		usage(os.Stderr)
 		return nil
 	default:
-		usage()
+		usage(os.Stderr)
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
 

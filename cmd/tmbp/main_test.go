@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
+	"flag"
 	"os"
 	"strings"
 	"testing"
@@ -153,5 +156,132 @@ func TestRunBenchSubcommandTable(t *testing.T) {
 func TestHelp(t *testing.T) {
 	if err := run("help", nil); err != nil {
 		t.Fatalf("help returned error: %v", err)
+	}
+}
+
+// TestDispatchTableComplete proves every name in subcommands() actually
+// dispatches: run(name, -h) must reach that subcommand's flag parsing and
+// come back with flag.ErrHelp (an unknown name returns the "unknown
+// subcommand" error instead). A subcommand added to the switch but not to
+// subcommands() — or vice versa — fails here.
+func TestDispatchTableComplete(t *testing.T) {
+	for _, name := range subcommands() {
+		if err := run(name, []string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+			t.Errorf("run(%q, -h) = %v, want flag.ErrHelp", name, err)
+		}
+	}
+	err := run("bogus", []string{"-h"})
+	if err == nil || !strings.Contains(err.Error(), "unknown subcommand") {
+		t.Errorf("unknown subcommand returned %v", err)
+	}
+}
+
+// TestUsageListsEverySubcommand keeps the usage text in lock-step with the
+// dispatch table, so a future subcommand can't ship undocumented.
+func TestUsageListsEverySubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	usage(&buf)
+	for _, name := range subcommands() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("usage text does not mention subcommand %q", name)
+		}
+	}
+}
+
+// TestRunLoadFlagErrors pins the load subcommand's argument validation:
+// unknown flags fail at parse, bad values fail at scenario validation.
+func TestRunLoadFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-rate", "-5"},
+		{"-struct", "btree"},
+		{"-table", "cuckoo"},
+		{"-cm", "polite"},
+		{"-arrival", "bursty"},
+		{"-mean-ops", "0.5"},
+		{"-bits", "99"},
+		{"-entries", "3"},
+	}
+	for _, args := range cases {
+		if err := run("load", append([]string{"-virtual", "-ops", "10"}, args...)); err == nil {
+			t.Errorf("load %v accepted", args)
+		}
+	}
+}
+
+// loadTestArgs is a cheap deterministic load sweep: 3 structures x 5
+// policies, 300 transactions each, on the virtual clock.
+var loadTestArgs = []string{"-json", "-virtual", "-ops", "300", "-keys", "64"}
+
+// TestRunLoadSubcommandJSON pins the shape of `tmbp load -json`: a
+// schema-versioned envelope with one row per structure x CM policy, each
+// carrying throughput and monotone latency quantiles.
+func TestRunLoadSubcommandJSON(t *testing.T) {
+	out := capture(t, func() error { return run("load", loadTestArgs) })
+	var rep struct {
+		Schema int `json:"schema"`
+		Rows   []struct {
+			Struct        string  `json:"struct"`
+			Table         string  `json:"table"`
+			CM            string  `json:"cm"`
+			Virtual       bool    `json:"virtual"`
+			Ops           int     `json:"ops"`
+			ThroughputTPS float64 `json:"throughput_tps"`
+			P50           int64   `json:"p50_ns"`
+			P99           int64   `json:"p99_ns"`
+			P999          int64   `json:"p999_ns"`
+			Max           int64   `json:"max_ns"`
+			Commits       uint64  `json:"commits"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("load -json emitted invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Schema != 1 || len(rep.Rows) != 15 {
+		t.Fatalf("load report shape: schema=%d rows=%d, want 1/15", rep.Schema, len(rep.Rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Rows {
+		seen[r.Struct+"/"+r.CM] = true
+		if !r.Virtual || r.Ops != 300 {
+			t.Errorf("%s/%s: virtual=%v ops=%d", r.Struct, r.CM, r.Virtual, r.Ops)
+		}
+		if r.ThroughputTPS <= 0 || r.Commits < 300 {
+			t.Errorf("%s/%s: throughput=%v commits=%d", r.Struct, r.CM, r.ThroughputTPS, r.Commits)
+		}
+		if r.P50 > r.P99 || r.P99 > r.P999 || r.P999 > r.Max {
+			t.Errorf("%s/%s: quantiles not monotone: %d/%d/%d/%d",
+				r.Struct, r.CM, r.P50, r.P99, r.P999, r.Max)
+		}
+	}
+	for _, structName := range []string{"hashmap", "list", "queue"} {
+		for _, cm := range []string{"backoff", "adaptive", "karma", "timestamp", "switching"} {
+			if !seen[structName+"/"+cm] {
+				t.Errorf("load report missing row %s/%s", structName, cm)
+			}
+		}
+	}
+}
+
+// TestRunLoadJSONDeterministic is the CLI-level determinism contract the
+// CI gate relies on: two -virtual runs of the same seed emit byte-
+// identical output.
+func TestRunLoadJSONDeterministic(t *testing.T) {
+	a := capture(t, func() error { return run("load", loadTestArgs) })
+	b := capture(t, func() error { return run("load", loadTestArgs) })
+	if a != b {
+		t.Fatalf("virtual reruns differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestRunLoadSubcommandTable smoke-tests the human-readable rendering.
+func TestRunLoadSubcommandTable(t *testing.T) {
+	out := capture(t, func() error {
+		return run("load", []string{"-virtual", "-ops", "200", "-keys", "64", "-struct", "hashmap", "-cm", "backoff"})
+	})
+	for _, want := range []string{"p999", "abort rate", "hashmap", "open loop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("load table output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -1,0 +1,53 @@
+package load
+
+import (
+	"fmt"
+
+	"tmbp/internal/xrand"
+)
+
+// Processes lists the supported arrival processes: "fixed" spaces arrivals
+// exactly 1/rate apart (a paced client), "poisson" draws exponential
+// inter-arrival gaps (independent users — the memoryless arrivals of an
+// M/G/k service system, and the process whose bursts give the tail its
+// shape).
+func Processes() []string { return []string{"fixed", "poisson"} }
+
+// Arrivals generates the open-loop arrival schedule: a monotone
+// non-decreasing sequence of nanosecond timestamps at the configured mean
+// rate. The sequence is a pure function of the process, rate, and the
+// generator's stream, so a seeded schedule replays identically.
+type Arrivals struct {
+	poisson bool
+	perNs   float64 // mean arrivals per nanosecond
+	t       float64 // accumulated in float64 ns: gaps far below 2^53 stay exact enough
+	rng     *xrand.Rand
+}
+
+// NewArrivals builds an arrival schedule for the named process at
+// ratePerSec mean arrivals per second. The rng is consumed only by the
+// "poisson" process; "fixed" ignores it.
+func NewArrivals(process string, ratePerSec float64, rng *xrand.Rand) (*Arrivals, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("load: arrival rate %v must be positive", ratePerSec)
+	}
+	a := &Arrivals{perNs: ratePerSec / 1e9, rng: rng}
+	switch process {
+	case "fixed":
+	case "poisson":
+		a.poisson = true
+	default:
+		return nil, fmt.Errorf("load: unknown arrival process %q (want one of %v)", process, Processes())
+	}
+	return a, nil
+}
+
+// Next returns the next arrival time in nanoseconds since the run origin.
+func (a *Arrivals) Next() int64 {
+	if a.poisson {
+		a.t += a.rng.ExpFloat64(a.perNs)
+	} else {
+		a.t += 1 / a.perNs
+	}
+	return int64(a.t)
+}

@@ -1,0 +1,62 @@
+package load
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the time source of a load run: nanoseconds since the run began.
+// Two implementations exist. The wall clock is real time — workers really
+// wait for arrivals and latencies include genuine scheduling effects. The
+// virtual clock never sleeps: waiting just advances it, which is what makes
+// a virtual-time run of a seeded scenario byte-reproducible on any machine.
+type Clock interface {
+	// Now returns nanoseconds since the run's origin.
+	Now() int64
+	// WaitUntil blocks (wall) or advances (virtual) until Now() >= t.
+	WaitUntil(t int64)
+}
+
+// wallClock measures real time from a fixed origin.
+type wallClock struct{ base time.Time }
+
+// NewWallClock returns a Clock anchored at the current instant.
+func NewWallClock() Clock { return &wallClock{base: time.Now()} }
+
+func (c *wallClock) Now() int64 { return int64(time.Since(c.base)) }
+
+func (c *wallClock) WaitUntil(t int64) {
+	// Loop: Sleep may return early, and a single long sleep computed from a
+	// stale Now would oversleep the next arrival less gracefully than two
+	// short ones.
+	for {
+		d := t - c.Now()
+		if d <= 0 {
+			return
+		}
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// VirtualClock is a deterministic Clock: time advances only when someone
+// waits on it, instantly. It is safe for concurrent use (advances are a
+// CAS-max), though the deterministic load mode drives it from one
+// goroutine.
+type VirtualClock struct{ now atomic.Int64 }
+
+// NewVirtualClock returns a virtual clock at time zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() int64 { return c.now.Load() }
+
+// WaitUntil advances the clock to t if t is in the future; virtual time
+// never moves backward.
+func (c *VirtualClock) WaitUntil(t int64) {
+	for {
+		cur := c.now.Load()
+		if t <= cur || c.now.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package load is the open-loop service benchmark behind `tmbp load`: a
+// seeded load generator that drives the tmds structures through stm.Atomic
+// at a configured arrival rate and reports throughput plus tail-latency
+// quantiles per ownership-table kind × contention-management policy.
+//
+// The repo's other benchmarks are closed-loop: each worker issues its next
+// transaction the moment the previous one commits, so measured latency can
+// never exceed service time and queueing is invisible. Production traffic —
+// the ROADMAP's millions of users — is open-loop: requests arrive on their
+// own schedule whether or not the system has kept up, and the quantity that
+// matters is the tail of (completion − scheduled arrival). That difference
+// is exactly where the paper's birthday-paradox aliasing shows up as p999
+// spikes: a burst of false conflicts stalls a worker, arrivals keep
+// accumulating behind it, and the backlog's latency lands in the histogram
+// even though every individual transaction was fast. Measuring from the
+// *scheduled* arrival (not from when a worker picked the work up) is what
+// makes the measurement immune to coordinated omission.
+//
+// The package has four parts, each deterministic from a seed:
+//
+//   - Hist: a log-linear ("HDR-style") latency histogram with a configured
+//     relative-error bound, one per worker, merged after the run;
+//   - Clock: the time source — a wall clock for real concurrent runs, a
+//     virtual clock for byte-reproducible ones;
+//   - Arrivals: the open-loop arrival schedule (fixed-rate or Poisson);
+//   - Scenario/Run: the generator proper — a seeded plan of transactions
+//     (Zipf keys, read/write mix, geometric transaction sizes) executed
+//     either by real worker goroutines against the wall clock or serially
+//     under a discrete-event virtual clock.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// histMaxBits bounds the histogram precision; beyond ~12 sub-bucket bits
+// the bucket array stops fitting comfortably in cache for no measurable
+// accuracy benefit at the latencies this package records.
+const histMaxBits = 12
+
+// Hist is a log-linear latency histogram over non-negative int64 values
+// (nanoseconds, here), the HDR-histogram bucketing scheme: values below
+// 2^(bits+1) are recorded exactly, larger values land in buckets of width
+// 2^(e-bits-1) where e is the value's bit length, so every recorded value
+// is off by at most a factor of 2^-bits — the configured precision. The
+// full non-negative int64 range is representable; nothing saturates.
+//
+// A Hist is deliberately not synchronized: the load generator gives each
+// worker goroutine its own histogram (recording is then a plain array
+// increment — no atomics, no sharing, no false sharing) and merges them
+// after the run. Record performs zero heap allocations.
+type Hist struct {
+	sbits  uint // sub-bucket precision bits
+	count  uint64
+	sum    uint64
+	min    int64 // valid when count > 0
+	max    int64
+	counts []uint64
+}
+
+// NewHist returns a histogram with the given sub-bucket precision: quantile
+// values are underestimated by at most a factor of 2^-bits (bits=7 →
+// ≤ 0.79%). bits must be in [1, 12].
+func NewHist(bits int) *Hist {
+	if bits < 1 || bits > histMaxBits {
+		panic(fmt.Sprintf("load: NewHist(%d) needs precision bits in [1, %d]", bits, histMaxBits))
+	}
+	// Index layout: [0, 2·sub) is the exact region; each further octave
+	// contributes sub buckets. Recorded values are non-negative int64s
+	// (at most 63 significant bits), so the largest reachable index —
+	// for values with bit length 63 — is (64-bits)·2^bits − 1.
+	return &Hist{sbits: uint(bits), counts: make([]uint64, (64-bits)<<bits)}
+}
+
+// Bits returns the configured precision in sub-bucket bits.
+func (h *Hist) Bits() int { return int(h.sbits) }
+
+// RelError returns the worst-case relative quantile error, 2^-bits.
+func (h *Hist) RelError() float64 { return 1 / float64(uint64(1)<<h.sbits) }
+
+// index maps a value to its bucket.
+func (h *Hist) index(v uint64) int {
+	e := uint(bits.Len64(v))
+	if e <= h.sbits+1 {
+		return int(v) // exact region
+	}
+	shift := e - (h.sbits + 1)
+	return int((uint64(shift)+1)<<h.sbits + v>>shift - 1<<h.sbits)
+}
+
+// valueAt returns the lower bound of bucket i — the value Quantile reports
+// for ranks landing in it.
+func (h *Hist) valueAt(i int) int64 {
+	sub := uint64(1) << h.sbits
+	if uint64(i) < 2*sub {
+		return int64(i)
+	}
+	shift := uint64(i)>>h.sbits - 1
+	return int64((sub + uint64(i)&(sub-1)) << shift)
+}
+
+// Record adds one value. Negative values clamp to zero (a latency can come
+// out negative only through clock skew; losing the sign is the right
+// answer). The record path is a handful of integer operations and never
+// allocates.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[h.index(uint64(v))]++
+	h.sum += uint64(v)
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+}
+
+// Count returns the number of recorded values.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Min returns the smallest recorded value exactly (0 when empty).
+func (h *Hist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value exactly (0 when empty).
+func (h *Hist) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact mean of the recorded values (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the q-quantile of the recorded values: the lower bound
+// of the bucket holding the value of rank ceil(q·count). The result is
+// exact for values below 2^(bits+1) and otherwise underestimates the true
+// rank value by at most RelError. q outside [0, 1] clamps; an empty
+// histogram reports 0.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(1)
+	if q > 0 {
+		rank = uint64(math.Ceil(q * float64(h.count)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > h.count {
+			rank = h.count
+		}
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return h.valueAt(i)
+		}
+	}
+	return h.Max() // unreachable: cum reaches count
+}
+
+// Merge folds o into h. Merging histograms recorded separately is exactly
+// equivalent to recording every value into one histogram; only identical
+// precisions merge.
+func (h *Hist) Merge(o *Hist) error {
+	if o.sbits != h.sbits {
+		return fmt.Errorf("load: merging %d-bit histogram into %d-bit", o.sbits, h.sbits)
+	}
+	if o.count == 0 {
+		return nil
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	return nil
+}

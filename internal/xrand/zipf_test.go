@@ -1,0 +1,116 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// chiSquareCritical approximates the upper critical value of the
+// chi-square distribution with df degrees of freedom at significance
+// alpha, via the Wilson-Hilferty cube-root normal approximation. For the
+// degrees of freedom used here (15+) the approximation is accurate to a
+// fraction of a percent — plenty for a seeded (hence non-flaky) test.
+func chiSquareCritical(df int, z float64) float64 {
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// TestZipfChiSquareRankFrequency is the statistical acceptance test for
+// the Zipf sampler: for several (n, s) shapes, the observed rank-frequency
+// counts of a large seeded sample must match the analytic masses under a
+// chi-square goodness-of-fit test at the 99.9% level. The seed is fixed,
+// so the test is deterministic; the 99.9% threshold means even a correct
+// re-seeding would fail spuriously only once in a thousand seeds.
+func TestZipfChiSquareRankFrequency(t *testing.T) {
+	cases := []struct {
+		n int
+		s float64
+	}{
+		{16, 0.5},
+		{64, 1.0},
+		{256, 1.2},
+		{64, 0}, // s = 0: uniform boundary
+	}
+	const samples = 200000
+	for _, c := range cases {
+		z := NewZipf(c.n, c.s)
+		r := New(12345)
+		obs := make([]int, c.n)
+		for i := 0; i < samples; i++ {
+			obs[z.Sample(r)]++
+		}
+		// Pool ranks whose expected count drops below 5 (the standard
+		// validity floor for the chi-square approximation) into one tail
+		// category.
+		chi2, df, tail, tailExp := 0.0, 0, 0, 0.0
+		for k := 0; k < c.n; k++ {
+			exp := z.Prob(k) * samples
+			if exp < 5 {
+				tail += obs[k]
+				tailExp += exp
+				continue
+			}
+			d := float64(obs[k]) - exp
+			chi2 += d * d / exp
+			df++
+		}
+		if tailExp > 0 {
+			d := float64(tail) - tailExp
+			chi2 += d * d / tailExp
+			df++
+		}
+		df-- // categories minus one
+		if crit := chiSquareCritical(df, 3.09); chi2 > crit {
+			t.Errorf("Zipf(n=%d, s=%v): chi-square %.1f exceeds %.1f (df=%d)",
+				c.n, c.s, chi2, crit, df)
+		}
+		// Monotonicity of the fit: with positive skew, rank 0 must be the
+		// most frequent.
+		if c.s > 0 {
+			for k := 1; k < c.n; k++ {
+				if obs[k] > obs[0] {
+					t.Errorf("Zipf(n=%d, s=%v): rank %d observed %d times, above rank 0's %d",
+						c.n, c.s, k, obs[k], obs[0])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestZipfSingleton pins the n = 1 boundary: the only value is always
+// drawn with probability one.
+func TestZipfSingleton(t *testing.T) {
+	z := NewZipf(1, 1.5)
+	if z.N() != 1 || z.Prob(0) != 1 {
+		t.Fatalf("singleton sampler: N=%d, Prob(0)=%v", z.N(), z.Prob(0))
+	}
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		if z.Sample(r) != 0 {
+			t.Fatal("singleton sampler drew a nonzero value")
+		}
+	}
+}
+
+// TestZipfPanicsOnBadParams pins the constructor's contract: non-positive
+// supports and negative exponents are programming errors.
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	cases := []struct {
+		n int
+		s float64
+	}{
+		{0, 1}, {-3, 1}, {8, -0.1},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", c.n, c.s)
+				}
+			}()
+			NewZipf(c.n, c.s)
+		}()
+	}
+}

@@ -72,94 +72,115 @@ func (m *Map) slot(k uint64) uint64 {
 	return (k * 0x9e3779b97f4a7c15) & (m.buckets - 1)
 }
 
+// PutTx stores k→v inside an already-running transaction, reporting
+// whether the key was new. A full table returns ErrFull, which aborts the
+// enclosing transaction when propagated. The Tx-level operations exist so
+// one transaction can compose several structure operations — the shape the
+// open-loop load generator drives.
+func (m *Map) PutTx(tx *tmbp.Tx, k, v uint64) (added bool, err error) {
+	tag := k + mapKeyBias
+	firstFree := uint64(m.buckets) // sentinel: none seen
+	for probe := uint64(0); probe < m.buckets; probe++ {
+		i := (m.slot(k) + probe) & (m.buckets - 1)
+		switch got := tx.Read(m.tagAddr(i)); got {
+		case tag:
+			tx.Write(m.valAddr(i), v)
+			return false, nil
+		case mapTombstone:
+			if firstFree == m.buckets {
+				firstFree = i
+			}
+		case mapEmpty:
+			if firstFree == m.buckets {
+				firstFree = i
+			}
+			// An empty bucket terminates the probe chain: the key is
+			// definitively absent.
+			tx.Write(m.tagAddr(firstFree), tag)
+			tx.Write(m.valAddr(firstFree), v)
+			tx.Write(m.size, tx.Read(m.size)+1)
+			return true, nil
+		}
+	}
+	if firstFree != m.buckets {
+		tx.Write(m.tagAddr(firstFree), tag)
+		tx.Write(m.valAddr(firstFree), v)
+		tx.Write(m.size, tx.Read(m.size)+1)
+		return true, nil
+	}
+	return false, ErrFull
+}
+
 // Put stores k→v, reporting whether the key was new. A full table returns
 // ErrFull.
 func (m *Map) Put(th *tmbp.Thread, k, v uint64) (added bool, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		tag := k + mapKeyBias
-		firstFree := uint64(m.buckets) // sentinel: none seen
-		for probe := uint64(0); probe < m.buckets; probe++ {
-			i := (m.slot(k) + probe) & (m.buckets - 1)
-			switch got := tx.Read(m.tagAddr(i)); got {
-			case tag:
-				tx.Write(m.valAddr(i), v)
-				added = false
-				return nil
-			case mapTombstone:
-				if firstFree == m.buckets {
-					firstFree = i
-				}
-			case mapEmpty:
-				if firstFree == m.buckets {
-					firstFree = i
-				}
-				// An empty bucket terminates the probe chain: the key is
-				// definitively absent.
-				tx.Write(m.tagAddr(firstFree), tag)
-				tx.Write(m.valAddr(firstFree), v)
-				tx.Write(m.size, tx.Read(m.size)+1)
-				added = true
-				return nil
-			}
-		}
-		if firstFree != m.buckets {
-			tx.Write(m.tagAddr(firstFree), tag)
-			tx.Write(m.valAddr(firstFree), v)
-			tx.Write(m.size, tx.Read(m.size)+1)
-			added = true
-			return nil
-		}
-		return ErrFull
+		var e error
+		added, e = m.PutTx(tx, k, v)
+		return e
 	})
 	return added, err
+}
+
+// GetTx returns the value for k inside an already-running transaction.
+func (m *Map) GetTx(tx *tmbp.Tx, k uint64) (v uint64, ok bool) {
+	tag := k + mapKeyBias
+	for probe := uint64(0); probe < m.buckets; probe++ {
+		i := (m.slot(k) + probe) & (m.buckets - 1)
+		switch got := tx.Read(m.tagAddr(i)); got {
+		case tag:
+			return tx.Read(m.valAddr(i)), true
+		case mapEmpty:
+			return 0, false
+		}
+	}
+	return 0, false
 }
 
 // Get returns the value for k, if present.
 func (m *Map) Get(th *tmbp.Thread, k uint64) (v uint64, ok bool, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		v, ok = 0, false
-		tag := k + mapKeyBias
-		for probe := uint64(0); probe < m.buckets; probe++ {
-			i := (m.slot(k) + probe) & (m.buckets - 1)
-			switch got := tx.Read(m.tagAddr(i)); got {
-			case tag:
-				v, ok = tx.Read(m.valAddr(i)), true
-				return nil
-			case mapEmpty:
-				return nil
-			}
-		}
+		v, ok = m.GetTx(tx, k)
 		return nil
 	})
 	return v, ok, err
 }
 
+// DeleteTx removes k inside an already-running transaction, reporting
+// whether it was present.
+func (m *Map) DeleteTx(tx *tmbp.Tx, k uint64) (removed bool) {
+	tag := k + mapKeyBias
+	for probe := uint64(0); probe < m.buckets; probe++ {
+		i := (m.slot(k) + probe) & (m.buckets - 1)
+		switch got := tx.Read(m.tagAddr(i)); got {
+		case tag:
+			tx.Write(m.tagAddr(i), mapTombstone)
+			tx.Write(m.size, tx.Read(m.size)-1)
+			return true
+		case mapEmpty:
+			return false
+		}
+	}
+	return false
+}
+
 // Delete removes k, reporting whether it was present.
 func (m *Map) Delete(th *tmbp.Thread, k uint64) (removed bool, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		removed = false
-		tag := k + mapKeyBias
-		for probe := uint64(0); probe < m.buckets; probe++ {
-			i := (m.slot(k) + probe) & (m.buckets - 1)
-			switch got := tx.Read(m.tagAddr(i)); got {
-			case tag:
-				tx.Write(m.tagAddr(i), mapTombstone)
-				tx.Write(m.size, tx.Read(m.size)-1)
-				removed = true
-				return nil
-			case mapEmpty:
-				return nil
-			}
-		}
+		removed = m.DeleteTx(tx, k)
 		return nil
 	})
 	return removed, err
 }
 
+// LenTx returns the number of live entries inside an already-running
+// transaction.
+func (m *Map) LenTx(tx *tmbp.Tx) int { return int(tx.Read(m.size)) }
+
 // Len returns the number of live entries.
 func (m *Map) Len(th *tmbp.Thread) (n int, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		n = int(tx.Read(m.size))
+		n = m.LenTx(tx)
 		return nil
 	})
 	return n, err

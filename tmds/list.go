@@ -92,72 +92,93 @@ func (l *List) locate(tx *tmbp.Tx, k uint64) (prev, cur uint64) {
 	return prev, cur
 }
 
+// InsertTx adds k inside an already-running transaction, reporting whether
+// it was absent. It returns ErrFull when no free nodes remain; propagating
+// that error aborts the enclosing transaction. The Tx-level operations let
+// one transaction compose several structure operations.
+func (l *List) InsertTx(tx *tmbp.Tx, k uint64) (added bool, err error) {
+	prev, cur := l.locate(tx, k)
+	if cur != 0 && tx.Read(l.keyAddr(cur)) == k {
+		return false, nil
+	}
+	node := tx.Read(l.free)
+	if node == 0 {
+		return false, ErrFull
+	}
+	tx.Write(l.free, tx.Read(l.nextAddr(node)))
+	tx.Write(l.keyAddr(node), k)
+	tx.Write(l.nextAddr(node), cur)
+	if prev == 0 {
+		tx.Write(l.head, node)
+	} else {
+		tx.Write(l.nextAddr(prev), node)
+	}
+	tx.Write(l.size, tx.Read(l.size)+1)
+	return true, nil
+}
+
 // Insert adds k, reporting whether it was absent. It returns ErrFull when
 // no free nodes remain.
 func (l *List) Insert(th *tmbp.Thread, k uint64) (added bool, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		prev, cur := l.locate(tx, k)
-		if cur != 0 && tx.Read(l.keyAddr(cur)) == k {
-			added = false
-			return nil
-		}
-		node := tx.Read(l.free)
-		if node == 0 {
-			return ErrFull
-		}
-		tx.Write(l.free, tx.Read(l.nextAddr(node)))
-		tx.Write(l.keyAddr(node), k)
-		tx.Write(l.nextAddr(node), cur)
-		if prev == 0 {
-			tx.Write(l.head, node)
-		} else {
-			tx.Write(l.nextAddr(prev), node)
-		}
-		tx.Write(l.size, tx.Read(l.size)+1)
-		added = true
-		return nil
+		var e error
+		added, e = l.InsertTx(tx, k)
+		return e
 	})
 	return added, err
+}
+
+// RemoveTx deletes k inside an already-running transaction, reporting
+// whether it was present.
+func (l *List) RemoveTx(tx *tmbp.Tx, k uint64) (removed bool) {
+	prev, cur := l.locate(tx, k)
+	if cur == 0 || tx.Read(l.keyAddr(cur)) != k {
+		return false
+	}
+	next := tx.Read(l.nextAddr(cur))
+	if prev == 0 {
+		tx.Write(l.head, next)
+	} else {
+		tx.Write(l.nextAddr(prev), next)
+	}
+	// Return the node to the free list.
+	tx.Write(l.nextAddr(cur), tx.Read(l.free))
+	tx.Write(l.free, cur)
+	tx.Write(l.size, tx.Read(l.size)-1)
+	return true
 }
 
 // Remove deletes k, reporting whether it was present.
 func (l *List) Remove(th *tmbp.Thread, k uint64) (removed bool, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		prev, cur := l.locate(tx, k)
-		if cur == 0 || tx.Read(l.keyAddr(cur)) != k {
-			removed = false
-			return nil
-		}
-		next := tx.Read(l.nextAddr(cur))
-		if prev == 0 {
-			tx.Write(l.head, next)
-		} else {
-			tx.Write(l.nextAddr(prev), next)
-		}
-		// Return the node to the free list.
-		tx.Write(l.nextAddr(cur), tx.Read(l.free))
-		tx.Write(l.free, cur)
-		tx.Write(l.size, tx.Read(l.size)-1)
-		removed = true
+		removed = l.RemoveTx(tx, k)
 		return nil
 	})
 	return removed, err
 }
 
+// ContainsTx reports membership of k inside an already-running transaction.
+func (l *List) ContainsTx(tx *tmbp.Tx, k uint64) (found bool) {
+	_, cur := l.locate(tx, k)
+	return cur != 0 && tx.Read(l.keyAddr(cur)) == k
+}
+
 // Contains reports membership of k.
 func (l *List) Contains(th *tmbp.Thread, k uint64) (found bool, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		_, cur := l.locate(tx, k)
-		found = cur != 0 && tx.Read(l.keyAddr(cur)) == k
+		found = l.ContainsTx(tx, k)
 		return nil
 	})
 	return found, err
 }
 
+// LenTx returns the current size inside an already-running transaction.
+func (l *List) LenTx(tx *tmbp.Tx) int { return int(tx.Read(l.size)) }
+
 // Len returns the current size.
 func (l *List) Len(th *tmbp.Thread) (n int, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		n = int(tx.Read(l.size))
+		n = l.LenTx(tx)
 		return nil
 	})
 	return n, err

@@ -65,44 +65,59 @@ func (q *Queue) slotAddr(i uint64) tmbp.Addr {
 	return wordAddr(q.mem, q.slotsBase+int(i)*spreadStride)
 }
 
+// EnqueueTx appends v inside an already-running transaction, reporting
+// false if the queue is full. The Tx-level operations let one transaction
+// compose several structure operations.
+func (q *Queue) EnqueueTx(tx *tmbp.Tx, v uint64) (ok bool) {
+	if tx.Read(q.count) == q.capacity {
+		return false
+	}
+	tail := tx.Read(q.tail)
+	tx.Write(q.slotAddr(tail), v)
+	tx.Write(q.tail, (tail+1)%q.capacity)
+	tx.Write(q.count, tx.Read(q.count)+1)
+	return true
+}
+
 // Enqueue appends v, reporting false if the queue is full.
 func (q *Queue) Enqueue(th *tmbp.Thread, v uint64) (ok bool, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		if tx.Read(q.count) == q.capacity {
-			ok = false
-			return nil
-		}
-		tail := tx.Read(q.tail)
-		tx.Write(q.slotAddr(tail), v)
-		tx.Write(q.tail, (tail+1)%q.capacity)
-		tx.Write(q.count, tx.Read(q.count)+1)
-		ok = true
+		ok = q.EnqueueTx(tx, v)
 		return nil
 	})
 	return ok, err
 }
 
+// DequeueTx removes and returns the oldest value inside an already-running
+// transaction.
+func (q *Queue) DequeueTx(tx *tmbp.Tx) (v uint64, ok bool) {
+	if tx.Read(q.count) == 0 {
+		return 0, false
+	}
+	head := tx.Read(q.head)
+	v = tx.Read(q.slotAddr(head))
+	tx.Write(q.head, (head+1)%q.capacity)
+	tx.Write(q.count, tx.Read(q.count)-1)
+	return v, true
+}
+
 // Dequeue removes and returns the oldest value.
 func (q *Queue) Dequeue(th *tmbp.Thread) (v uint64, ok bool, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		v, ok = 0, false
-		if tx.Read(q.count) == 0 {
-			return nil
-		}
-		head := tx.Read(q.head)
-		v = tx.Read(q.slotAddr(head))
-		tx.Write(q.head, (head+1)%q.capacity)
-		tx.Write(q.count, tx.Read(q.count)-1)
-		ok = true
+		v, ok = q.DequeueTx(tx)
 		return nil
 	})
 	return v, ok, err
 }
 
+// LenTx returns the current element count inside an already-running
+// transaction.
+func (q *Queue) LenTx(tx *tmbp.Tx) int { return int(tx.Read(q.count)) }
+
 // Len returns the current element count.
 func (q *Queue) Len(th *tmbp.Thread) (n int, err error) {
 	err = th.Atomic(func(tx *tmbp.Tx) error {
-		n = int(tx.Read(q.count))
+		n = q.LenTx(tx)
 		return nil
 	})
 	return n, err

@@ -1,0 +1,223 @@
+package tmds
+
+import (
+	"errors"
+	"testing"
+
+	"tmbp"
+)
+
+// newKeyedWorld builds a runtime plus a keyed workload structure of the
+// given kind, sized for the key space [0, keys).
+func newKeyedWorld(t testing.TB, kind string, keys int) (*tmbp.STM, Keyed) {
+	t.Helper()
+	words, err := KeyedWords(kind, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, mem := newWorld(t, "tagged", 4096, words)
+	w, err := NewKeyed(kind, mem, 0, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, w
+}
+
+// TestKeyedRejectsBadConfig pins the constructor's error contract.
+func TestKeyedRejectsBadConfig(t *testing.T) {
+	mem := tmbp.NewMemory(1 << 12)
+	if _, err := NewKeyed("btree", mem, 0, 8); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := NewKeyed("hashmap", mem, 0, 0); err == nil {
+		t.Error("zero key space accepted")
+	}
+	if _, err := KeyedWords("btree", 8); err == nil {
+		t.Error("KeyedWords accepted unknown kind")
+	}
+	if _, err := KeyedWords("list", -1); err == nil {
+		t.Error("KeyedWords accepted negative key space")
+	}
+}
+
+// TestKeyedWordsSuffice checks that the advertised sizing is exactly what
+// the constructor consumes: construction in a memory of KeyedWords words
+// succeeds, and every kind survives a full-key-space write sweep.
+func TestKeyedWordsSuffice(t *testing.T) {
+	const keys = 33 // deliberately not a power of two
+	for _, kind := range Kinds() {
+		rt, w := newKeyedWorld(t, kind, keys)
+		th := rt.NewThread()
+		for k := uint64(0); k < keys; k++ {
+			if err := th.Atomic(func(tx *tmbp.Tx) error {
+				if err := w.WriteTx(tx, k, k*2); err != nil {
+					return err
+				}
+				return w.ReadTx(tx, k)
+			}); err != nil {
+				t.Fatalf("%s: write/read of key %d: %v", kind, k, err)
+			}
+		}
+	}
+}
+
+// TestKeyedMapMatchesOracle drives the hashmap workload adapter through a
+// deterministic mixed sequence inside multi-operation transactions and
+// compares the final contents against a Go map applying the adapter's
+// documented semantics (WriteTx = Put, or Delete when v%16 == 15).
+func TestKeyedMapMatchesOracle(t *testing.T) {
+	const keys = 64
+	words, err := KeyedWords("hashmap", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, mem := newWorld(t, "tagged", 4096, words)
+	m, err := NewMap(mem, 0, mapWorkloadBuckets(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := keyedMap{m}
+	th := rt.NewThread()
+	oracle := map[uint64]uint64{}
+	for i := 0; i < 500; i++ {
+		// Three keyed writes per transaction, from a cheap deterministic
+		// stream; commit applies all three at once.
+		ops := [3][2]uint64{}
+		for j := range ops {
+			k := uint64((i*7 + j*13) % keys)
+			v := uint64(i*31 + j*5)
+			ops[j] = [2]uint64{k, v}
+			if v%16 == 15 {
+				delete(oracle, k)
+			} else {
+				oracle[k] = v
+			}
+		}
+		if err := th.Atomic(func(tx *tmbp.Tx) error {
+			for _, kv := range ops {
+				if err := w.WriteTx(tx, kv[0], kv[1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < keys; k++ {
+		got, ok, err := m.Get(th, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantOK := oracle[k]
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("key %d: map has (%d, %v), oracle has (%d, %v)", k, got, ok, want, wantOK)
+		}
+	}
+	if n, _ := m.Len(th); n != len(oracle) {
+		t.Fatalf("map size %d, oracle size %d", n, len(oracle))
+	}
+}
+
+// TestKeyedListBoundedByKeySpace verifies the list adapter's no-ErrFull
+// guarantee: inserting every key twice never exhausts the capacity-equals-
+// key-space free list, and removes reclaim nodes.
+func TestKeyedListBoundedByKeySpace(t *testing.T) {
+	const keys = 16
+	rt, w := newKeyedWorld(t, "list", keys)
+	th := rt.NewThread()
+	for pass := 0; pass < 2; pass++ {
+		for k := uint64(0); k < keys; k++ {
+			if err := th.Atomic(func(tx *tmbp.Tx) error {
+				return w.WriteTx(tx, k, 0) // even value: insert
+			}); err != nil {
+				t.Fatalf("pass %d insert %d: %v", pass, k, err)
+			}
+		}
+	}
+	l := w.(keyedList).l
+	if n, _ := l.Len(th); n != keys {
+		t.Fatalf("list size %d after duplicate inserts, want %d", n, keys)
+	}
+	for k := uint64(0); k < keys; k += 2 {
+		if err := th.Atomic(func(tx *tmbp.Tx) error {
+			return w.WriteTx(tx, k, 1) // odd value: remove
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := l.Len(th); n != keys/2 {
+		t.Fatalf("list size %d after removes, want %d", n, keys/2)
+	}
+}
+
+// TestKeyedQueueMissesComplete verifies the queue adapter's miss semantics:
+// dequeue on empty and enqueue on full complete without error, and the
+// element count never exceeds capacity.
+func TestKeyedQueueMissesComplete(t *testing.T) {
+	const keys = 4
+	rt, w := newKeyedWorld(t, "queue", keys)
+	th := rt.NewThread()
+	if err := th.Atomic(func(tx *tmbp.Tx) error {
+		return w.ReadTx(tx, 0) // dequeue on empty: a miss, not an error
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3*keys; i++ {
+		if err := th.Atomic(func(tx *tmbp.Tx) error {
+			return w.WriteTx(tx, 0, 100+i)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := w.(keyedQueue).q
+	if n, _ := q.Len(th); n != keys {
+		t.Fatalf("queue holds %d, want capacity %d", n, keys)
+	}
+	// FIFO order survived the overflow misses: the first capacity values
+	// are the ones retained.
+	for i := uint64(0); i < keys; i++ {
+		v, ok, err := q.Dequeue(th)
+		if err != nil || !ok || v != 100+i {
+			t.Fatalf("dequeue %d = (%d, %v, %v), want %d", i, v, ok, err, 100+i)
+		}
+	}
+}
+
+// TestKeyedMultiOpTransactionAtomic pins what the Tx-level operations
+// exist for: several keyed writes inside one transaction commit or abort
+// together. A user error after two writes must leave no trace.
+func TestKeyedMultiOpTransactionAtomic(t *testing.T) {
+	boom := errors.New("user abort")
+	for _, kind := range Kinds() {
+		rt, w := newKeyedWorld(t, kind, 32)
+		th := rt.NewThread()
+		if err := th.Atomic(func(tx *tmbp.Tx) error {
+			if err := w.WriteTx(tx, 1, 2); err != nil {
+				return err
+			}
+			if err := w.WriteTx(tx, 3, 4); err != nil {
+				return err
+			}
+			return boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("%s: Atomic returned %v, want the user error", kind, err)
+		}
+		// A fresh observing transaction must see the untouched structure.
+		switch k := w.(type) {
+		case keyedMap:
+			if n, _ := k.m.Len(th); n != 0 {
+				t.Errorf("hashmap: aborted writes leaked, size %d", n)
+			}
+		case keyedList:
+			if n, _ := k.l.Len(th); n != 0 {
+				t.Errorf("list: aborted writes leaked, size %d", n)
+			}
+		case keyedQueue:
+			if n, _ := k.q.Len(th); n != 0 {
+				t.Errorf("queue: aborted writes leaked, size %d", n)
+			}
+		}
+		_ = rt
+	}
+}
