@@ -65,6 +65,24 @@ func runBench(fs *flag.FlagSet, args []string) error {
 		}
 		results = append(results, r)
 	}
+	// Read-only rows, acquiring vs invisible: the same 8-read transaction
+	// measured with reads taking table ownership (the default protocol) and
+	// with the invisible-reader fast path validating versions instead. The
+	// pair is the headline number for the invisible-reader work — the diff
+	// gate holds both to zero allocs, and the invisible row is expected to
+	// beat the acquiring one on every table kind.
+	for _, kind := range otable.Kinds() {
+		for _, mode := range []struct {
+			workload  string
+			invisible bool
+		}{{"serial-ro-acquire", false}, {"serial-ro-invisible", true}} {
+			r, err := benchSerialRO(mode.workload, kind, *entries, *hashName, *serialOps, *seed, mode.invisible)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+	}
 	for _, kind := range otable.Kinds() {
 		r, err := benchContended(kind, *hashName, *contOps, *seed)
 		if err != nil {
@@ -96,6 +114,7 @@ func runBench(fs *flag.FlagSet, args []string) error {
 	t.Note("serial: one thread, %d 8-access read-modify-write txns; contended: GOMAXPROCS threads x %d single-word read-modify-write txns on a 256-entry table", *serialOps, *contOps)
 	t.Note("serial-cm-*: the serial workload on the tagged table under each contention-management policy (no aborts occur; this prices the policy plumbing on the hot path)")
 	t.Note("cmabort-*: the policy's Aborted callback invoked directly with synthetic writer/reader denials, waits disabled — the per-abort decision cost (karma ranks over the lock-free board, never a mutex)")
+	t.Note("serial-ro-*: one thread, %d read-only txns of 8 reads over 8 distinct chunks; -acquire takes read ownership per chunk, -invisible validates version stamps and never touches the table", *serialOps)
 	t.Note("allocs/op and B/op are process-wide malloc deltas per transaction; steady state must be 0")
 	return t.Render(os.Stdout)
 }
@@ -172,6 +191,84 @@ func benchSerial(workload, kind, cm string, entries uint64, hashName string, ops
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
+	st := rt.Stats()
+	commits := st.Commits - warm.Commits
+	aborts := st.Aborts - warm.Aborts
+	res := benchResult{
+		Workload:    workload,
+		Kind:        kind,
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+		Commits:     commits,
+		Aborts:      aborts,
+	}
+	if commits+aborts > 0 {
+		res.AbortRate = float64(aborts) / float64(commits+aborts)
+	}
+	return res, nil
+}
+
+// benchSerialRO measures single-thread read-only transaction latency: 8
+// reads spread across 8 distinct chunks, no writes, so the whole transaction
+// stays on whichever read protocol the runtime is configured with and every
+// read pays the per-chunk protocol cost (reads within an already-read chunk
+// would mostly hit the access set and measure nothing). The acquiring
+// variant pays two table CASes per chunk (acquire + release); the invisible
+// variant pays two version-word loads. Same warm-up and process-wide
+// malloc-delta accounting as benchSerial.
+func benchSerialRO(workload, kind string, entries uint64, hashName string, ops int, seed uint64, invisible bool) (benchResult, error) {
+	const words = 1 << 12
+	h, err := hash.New(hashName, entries)
+	if err != nil {
+		return benchResult{}, err
+	}
+	tab, err := otable.New(kind, h)
+	if err != nil {
+		return benchResult{}, err
+	}
+	rt, err := stm.New(stm.Config{
+		Table:            tab,
+		Memory:           stm.NewMemory(words),
+		Seed:             seed,
+		InvisibleReaders: invisible,
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	mem := rt.Memory()
+	th := rt.NewThread()
+	var sink uint64
+	txn := func(i int) error {
+		return th.Atomic(func(tx *stm.Tx) error {
+			var s uint64
+			for k := 0; k < 8; k++ {
+				// k*(words/8) lands each read in its own chunk; i walks the
+				// whole space so the warm-up touches every table slot.
+				s += tx.Read(mem.WordAddr((i + k*(words/8)) % words))
+			}
+			sink = s
+			return nil
+		})
+	}
+	for i := 0; i < 1000; i++ {
+		if err := txn(i); err != nil {
+			return benchResult{}, err
+		}
+	}
+	warm := rt.Stats()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := txn(i); err != nil {
+			return benchResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	_ = sink
 	st := rt.Stats()
 	commits := st.Commits - warm.Commits
 	aborts := st.Aborts - warm.Aborts

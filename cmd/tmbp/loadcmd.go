@@ -95,6 +95,55 @@ func runLoad(fs *flag.FlagSet, args []string) error {
 			}
 		}
 	}
+	// Read-mostly companion sweep: the same scenario at 90% reads, with and
+	// without the invisible-reader fast path, over the hashmap (the structure
+	// whose transactions most often stay read-only). The pair of rows is the
+	// service-level counterpart of the serial-ro-* bench rows: same seed and
+	// plan within the pair — ReadFrac and Invisible don't perturb the arrival
+	// stream — so the latency columns isolate the read protocol.
+	for _, policy := range cms {
+		for _, invisible := range []bool{false, true} {
+			sc := load.Scenario{
+				Struct:       "hashmap",
+				Table:        *table,
+				CM:           policy,
+				Arrival:      *arrival,
+				RatePerSec:   *rate,
+				Workers:      *workers,
+				Ops:          *ops,
+				Keys:         *keys,
+				ZipfS:        *zipfS,
+				ReadFrac:     0.9,
+				Invisible:    invisible,
+				MeanOps:      *meanOps,
+				ServiceNs:    *serviceNs,
+				Virtual:      *virtual,
+				Seed:         *seed,
+				Bits:         *bits,
+				TableEntries: *entries,
+			}
+			var trace *opacity.Log
+			if *record != "" {
+				trace = opacity.NewLog()
+				sc.Recorder = trace
+			}
+			res, err := load.Run(sc)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, res.Row)
+			if trace != nil {
+				mode := "acq"
+				if invisible {
+					mode = "inv"
+				}
+				name := fmt.Sprintf("load_ro_hashmap_%s_%s_%s.trace", *table, policy, mode)
+				if err := dumpTrace(trace, *record, name); err != nil {
+					return err
+				}
+			}
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -107,9 +156,13 @@ func runLoad(fs *flag.FlagSet, args []string) error {
 		})
 	}
 	t := report.New("Open-loop load benchmark",
-		"struct", "cm", "tput tx/s", "p50 ns", "p99 ns", "p999 ns", "max ns", "abort rate")
+		"struct", "cm", "reads", "tput tx/s", "p50 ns", "p99 ns", "p999 ns", "max ns", "abort rate")
 	for _, r := range rows {
-		t.Add(r.Struct, r.CM,
+		reads := fmt.Sprintf("%.0f%%", r.ReadFrac*100)
+		if r.Invisible {
+			reads += " inv"
+		}
+		t.Add(r.Struct, r.CM, reads,
 			report.F1(r.ThroughputTPS),
 			fmt.Sprintf("%d", r.P50Ns),
 			fmt.Sprintf("%d", r.P99Ns),
@@ -124,6 +177,7 @@ func runLoad(fs *flag.FlagSet, args []string) error {
 	t.Note("open loop: latency is completion minus scheduled arrival (%s arrivals at %.0f/s, %d workers, %s table, seed %d, %s)",
 		*arrival, *rate, *workers, *table, *seed, mode)
 	t.Note("quantiles from per-worker log-bucketed histograms (relative error <= 2^-%d), merged after the run", *bits)
+	t.Note("90%% rows: read-mostly hashmap companion sweep; 'inv' commits read-only transactions by version validation (invisible readers) instead of acquiring ownership")
 	return t.Render(os.Stdout)
 }
 

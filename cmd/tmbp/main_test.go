@@ -116,8 +116,9 @@ func TestRunBenchSubcommandJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("bench -json emitted invalid JSON: %v\n%s", err, out)
 	}
-	if rep.Schema != 1 || len(rep.Results) != 16 {
-		t.Fatalf("bench report shape: schema=%d results=%d", rep.Schema, len(rep.Results))
+	// 3 serial + 5 serial-cm + 5 cmabort + 3x2 serial-ro + 3 contended.
+	if rep.Schema != 1 || len(rep.Results) != 22 {
+		t.Fatalf("bench report shape: schema=%d results=%d, want 1/22", rep.Schema, len(rep.Results))
 	}
 	kinds := map[string]bool{}
 	for _, r := range rep.Results {
@@ -135,6 +136,9 @@ func TestRunBenchSubcommandJSON(t *testing.T) {
 		"serial-cm-backoff/tagged", "serial-cm-adaptive/tagged", "serial-cm-karma/tagged",
 		"serial-cm-timestamp/tagged", "serial-cm-switching/tagged",
 		"cmabort-backoff/cm", "cmabort-karma/cm", "cmabort-timestamp/cm", "cmabort-switching/cm",
+		"serial-ro-acquire/tagless", "serial-ro-invisible/tagless",
+		"serial-ro-acquire/tagged", "serial-ro-invisible/tagged",
+		"serial-ro-acquire/sharded", "serial-ro-invisible/sharded",
 	} {
 		if !kinds[want] {
 			t.Errorf("bench report missing %s", want)
@@ -237,8 +241,10 @@ func TestRunLoadSubcommandJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("load -json emitted invalid JSON: %v\n%s", err, out)
 	}
-	if rep.Schema != 1 || len(rep.Rows) != 15 {
-		t.Fatalf("load report shape: schema=%d rows=%d, want 1/15", rep.Schema, len(rep.Rows))
+	// 3 structures x 5 policies, plus the read-mostly hashmap companion
+	// sweep: 5 policies x {acquiring, invisible}.
+	if rep.Schema != 1 || len(rep.Rows) != 25 {
+		t.Fatalf("load report shape: schema=%d rows=%d, want 1/25", rep.Schema, len(rep.Rows))
 	}
 	seen := map[string]bool{}
 	for _, r := range rep.Rows {

@@ -70,6 +70,16 @@ type Config struct {
 	DelayReleaseRate float64
 	// DelayYields is the length of a delayed release (default 16).
 	DelayYields int
+	// StaleVersionRate is the probability in [0, 1] that a SampleVersion
+	// result is perturbed before the invisible-reader path sees it,
+	// modelling a reader racing a version cell it mis-sampled. The
+	// perturbation adds a constant far above any genuine stamp, so it can
+	// make a validation spuriously fail (or a read spuriously observe a
+	// "future" stamp) but never make a mismatched pair spuriously agree:
+	// injected staleness costs invisible readers aborts, never soundness.
+	// Stamp *writes* (ReleaseWriteV, StampVersion) are never perturbed —
+	// the injector breaks observations, not the version protocol's state.
+	StaleVersionRate float64
 }
 
 // Stats counts what the injector actually did.
@@ -78,6 +88,7 @@ type Stats struct {
 	Denied  uint64 // acquires spuriously denied
 	Stalled uint64 // stalls imposed on StallTx
 	Delayed uint64 // releases delayed
+	Staled  uint64 // version samples perturbed
 }
 
 // Injector is an otable.Table (and HandleTable, and BlockSlotted) that
@@ -85,18 +96,21 @@ type Stats struct {
 // It is safe for concurrent use; all injector state is atomic.
 type Injector struct {
 	tab otable.Table
-	ht  otable.HandleTable // non-nil iff tab implements it
+	ht  otable.HandleTable  // non-nil iff tab implements it
+	vt  otable.VersionTable // non-nil iff tab implements it
 	cfg Config
 
-	// denyBar and delayBar are cfg rates pre-scaled to uint64 thresholds,
-	// so the per-op decision is one Mix64 and one compare.
+	// denyBar, delayBar, and staleBar are cfg rates pre-scaled to uint64
+	// thresholds, so the per-op decision is one Mix64 and one compare.
 	denyBar  uint64
 	delayBar uint64
+	staleBar uint64
 
 	ops     atomic.Uint64
 	denied  atomic.Uint64
 	stalled atomic.Uint64
 	delayed atomic.Uint64
+	staled  atomic.Uint64
 }
 
 // The injector must be a drop-in table for every STM fast path.
@@ -104,6 +118,7 @@ var (
 	_ otable.Table        = (*Injector)(nil)
 	_ otable.HandleTable  = (*Injector)(nil)
 	_ otable.BlockSlotted = (*Injector)(nil)
+	_ otable.VersionTable = (*Injector)(nil)
 )
 
 // New wraps tab in an Injector. If tab implements otable.HandleTable the
@@ -118,8 +133,9 @@ func New(tab otable.Table, cfg Config) *Injector {
 		cfg.DelayYields = 16
 	}
 	inj := &Injector{tab: tab, cfg: cfg, denyBar: rateBar(cfg.DenyRate),
-		delayBar: rateBar(cfg.DelayReleaseRate)}
+		delayBar: rateBar(cfg.DelayReleaseRate), staleBar: rateBar(cfg.StaleVersionRate)}
 	inj.ht, _ = tab.(otable.HandleTable)
+	inj.vt, _ = tab.(otable.VersionTable)
 	return inj
 }
 
@@ -149,6 +165,7 @@ func (inj *Injector) FaultStats() Stats {
 		Denied:  inj.denied.Load(),
 		Stalled: inj.stalled.Load(),
 		Delayed: inj.delayed.Load(),
+		Staled:  inj.staled.Load(),
 	}
 }
 
@@ -263,6 +280,7 @@ func (inj *Injector) Reset() {
 	inj.denied.Store(0)
 	inj.stalled.Store(0)
 	inj.delayed.Store(0)
+	inj.staled.Store(0)
 }
 
 // --- otable.BlockSlotted ---
@@ -327,4 +345,44 @@ func (inj *Injector) ReleaseWriteH(tx otable.TxID, b addr.Block, hnd otable.Hand
 		return
 	}
 	inj.tab.ReleaseWrite(tx, b)
+}
+
+// --- otable.VersionTable ---
+
+// staleSkew is what a perturbed version sample is offset by: far above any
+// stamp a test run can genuinely produce, so a perturbed sample never
+// collides with a real one. Two perturbed samples of one cell agree only
+// when the true stamps agree — perturbation is injective, and injected
+// staleness therefore only ever *fails* validations that would have
+// passed, never the reverse.
+const staleSkew uint64 = 1 << 50
+
+// SampleVersion forwards the sample, perturbing a StaleVersionRate fraction
+// of results. The sampling hot path consumes no operation index when stale
+// injection is off, so configs without it keep their exact fault schedules.
+// Panics when the wrapped table has no version support — an injected table
+// offered to an invisible-reader runtime must wrap one that qualifies.
+func (inj *Injector) SampleVersion(b addr.Block) (uint64, bool) {
+	s, locked := inj.vt.SampleVersion(b)
+	if inj.staleBar != 0 {
+		if _, h := inj.step(); h < inj.staleBar {
+			inj.staled.Add(1)
+			s += staleSkew
+		}
+	}
+	return s, locked
+}
+
+// ReleaseWriteV forwards the stamped release with the usual stall/delay
+// treatment; the stamp itself is never perturbed.
+func (inj *Injector) ReleaseWriteV(tx otable.TxID, b addr.Block, hnd otable.Handle, stamp uint64) {
+	inj.stall(tx)
+	_, h := inj.step()
+	inj.delay(h)
+	inj.vt.ReleaseWriteV(tx, b, hnd, stamp)
+}
+
+// StampVersion forwards the stamp raise untouched.
+func (inj *Injector) StampVersion(b addr.Block, stamp uint64) {
+	inj.vt.StampVersion(b, stamp)
 }

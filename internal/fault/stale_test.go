@@ -1,0 +1,177 @@
+package fault_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tmbp/internal/fault"
+	"tmbp/internal/hash"
+	"tmbp/internal/opacity"
+	"tmbp/internal/otable"
+	"tmbp/internal/stm"
+)
+
+// TestFaultStaleVersionBoundedAborts poisons every version sample: with
+// StaleVersionRate 1.0 each invisible read observes an impossible "future"
+// stamp, so every invisible attempt dies in validation. The runtime must
+// keep the damage bounded — exactly FallbackAfter validation aborts per
+// transaction, after which attempts stop betting on invisibility (and, at
+// FallbackAfter, escalate to the serial token) and every transaction
+// commits. Single-threaded, so the schedule is exactly reproducible.
+func TestFaultStaleVersionBoundedAborts(t *testing.T) {
+	tab, err := otable.New("tagged", hash.NewMask(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(tab, fault.Config{Seed: 5, StaleVersionRate: 1.0})
+	mem := stm.NewMemory(64)
+	const fallbackAfter = 3
+	cfg := stm.Config{Table: inj, Memory: mem, Seed: 5,
+		FallbackAfter: fallbackAfter, InvisibleReaders: true}
+	log := recordTrace(t, &cfg)
+	rt, err := stm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.NewThread()
+	const txns = 10
+	for i := 0; i < txns; i++ {
+		if err := th.Atomic(func(tx *stm.Tx) error {
+			if v := tx.Read(mem.WordAddr(i % mem.Words())); v != 0 {
+				t.Fatalf("txn %d read %d from untouched memory", i, v)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	st := rt.Stats()
+	if st.Commits != txns {
+		t.Fatalf("commits = %d, want %d", st.Commits, txns)
+	}
+	// The poisoned fast path costs each transaction exactly fallbackAfter
+	// validation aborts before the acquiring (serial, here) attempt commits.
+	if st.ROValidationAborts != fallbackAfter*txns {
+		t.Fatalf("ROValidationAborts = %d, want %d (bounded at %d per transaction)",
+			st.ROValidationAborts, fallbackAfter*txns, fallbackAfter)
+	}
+	if st.Aborts != fallbackAfter*txns {
+		t.Fatalf("aborts = %d, want %d: staleness must cost nothing beyond the bound",
+			st.Aborts, fallbackAfter*txns)
+	}
+	if st.ROCommits != 0 {
+		t.Fatalf("ROCommits = %d under total sample poisoning, want 0", st.ROCommits)
+	}
+	if st.FallbackCommits != txns {
+		t.Fatalf("FallbackCommits = %d, want %d: the bound should reuse the serial escalation", st.FallbackCommits, txns)
+	}
+	if fs := inj.FaultStats(); fs.Staled == 0 {
+		t.Fatal("injector perturbed no samples: the test exercised nothing")
+	}
+	if err := otable.AuditQuiesced(inj.Underlying()); err != nil {
+		t.Error(err)
+	}
+	if res, err := opacity.CheckTrace(log.Events()); err != nil || !res.Opaque {
+		t.Fatalf("stale-version trace: opaque=%v err=%v", res != nil && res.Opaque, err)
+	}
+}
+
+// TestFaultStaleVersionReadMostlyGrid is the concurrent stale-sample hammer:
+// invisible readers assert a two-word invariant writers maintain, while a
+// quarter of all version samples are poisoned. Staleness may only ever cost
+// aborts — never a torn observation, a lost increment, a leaked record, or
+// a non-opaque history.
+func TestFaultStaleVersionReadMostlyGrid(t *testing.T) {
+	for _, kind := range otable.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			tab, err := otable.New(kind, hash.NewMask(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj := fault.New(tab, fault.Config{Seed: 31, StaleVersionRate: 0.25})
+			mem := stm.NewMemory(256)
+			cfg := stm.Config{Table: inj, Memory: mem, Seed: 31, FuzzYield: 0.2,
+				CM: "karma", FallbackAfter: 6, InvisibleReaders: true}
+			log := recordTrace(t, &cfg)
+			rt, err := stm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, y := mem.WordAddr(0), mem.WordAddr(128)
+			const (
+				writers  = 2
+				readers  = 4
+				txnsEach = 50
+			)
+			var torn atomic.Bool
+			var wg sync.WaitGroup
+			errs := make(chan error, writers+readers)
+			for g := 0; g < writers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := rt.NewThread()
+					for i := 0; i < txnsEach; i++ {
+						if err := th.Atomic(func(tx *stm.Tx) error {
+							tx.Write(x, tx.Read(x)+1)
+							tx.Write(y, tx.Read(y)+1)
+							return nil
+						}); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			for g := 0; g < readers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := rt.NewThread()
+					for i := 0; i < txnsEach; i++ {
+						if err := th.Atomic(func(tx *stm.Tx) error {
+							if a, b := tx.Read(x), tx.Read(y); a != b {
+								torn.Store(true)
+							}
+							return nil
+						}); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+			if torn.Load() {
+				t.Fatal("reader observed a torn writer commit under stale samples")
+			}
+			want := uint64(writers * txnsEach)
+			if gx, gy := mem.LoadDirect(x), mem.LoadDirect(y); gx != want || gy != want {
+				t.Fatalf("x/y = %d/%d, want %d", gx, gy, want)
+			}
+			st := rt.Stats()
+			if st.Commits != (writers+readers)*txnsEach {
+				t.Fatalf("commits = %d, want %d", st.Commits, (writers+readers)*txnsEach)
+			}
+			if fs := inj.FaultStats(); fs.Staled == 0 {
+				t.Error("no samples perturbed: rate/seed combination exercised nothing")
+			}
+			if err := otable.AuditQuiesced(inj.Underlying()); err != nil {
+				t.Error(err)
+			}
+			res, err := opacity.CheckTrace(log.Events())
+			if err != nil {
+				t.Fatalf("recorded trace malformed: %v", err)
+			}
+			if !res.Opaque {
+				t.Fatalf("recorded history not opaque under stale samples: %s", res)
+			}
+		})
+	}
+}

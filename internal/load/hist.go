@@ -150,8 +150,10 @@ func (h *Hist) Mean() float64 {
 // Quantile returns the q-quantile of the recorded values: the lower bound
 // of the bucket holding the value of rank ceil(q·count). The result is
 // exact for values below 2^(bits+1) and otherwise underestimates the true
-// rank value by at most RelError. q outside [0, 1] clamps; an empty
-// histogram reports 0.
+// rank value by at most RelError. q outside [0, 1] clamps to the ends of
+// the recorded range (a NaN q, failing every comparison, reports the
+// minimum); an empty histogram reports 0 from every summary, Quantile
+// included.
 func (h *Hist) Quantile(q float64) int64 {
 	if h.count == 0 {
 		return 0

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"math"
 	"testing"
 
 	"tmbp/internal/xrand"
@@ -141,6 +142,38 @@ func TestHistRecordAllocationFree(t *testing.T) {
 		i++
 	}); n != 0 {
 		t.Fatalf("Record allocates %v times per call, want 0", n)
+	}
+}
+
+// TestHistQuantileClamps pins the q-domain contract on a populated
+// histogram: q below 0 (and NaN, which fails every comparison) reports the
+// minimum, q above 1 reports the maximum, and the boundary values behave as
+// rank 1 and rank count. A driver interpolating quantile labels must never
+// be able to turn a formatting slip into a panic or a wild value.
+func TestHistQuantileClamps(t *testing.T) {
+	h := NewHist(7)
+	for v := int64(10); v <= 20; v++ {
+		h.Record(v)
+	}
+	cases := []struct {
+		name string
+		q    float64
+		want int64
+	}{
+		{"neg", -0.5, 10}, {"zero", 0, 10}, {"NaN", math.NaN(), 10},
+		{"one", 1, 20}, {"above", 1.5, 20}, {"inf", math.Inf(1), 20},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%s) = %d, want %d", c.name, got, c.want)
+		}
+	}
+	// The clamps hold on the empty histogram too: everything is 0.
+	e := NewHist(7)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := e.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
 	}
 }
 

@@ -53,6 +53,11 @@ type Scenario struct {
 	// ReadFrac is the probability an operation observes rather than
 	// mutates. Default 0.75.
 	ReadFrac float64
+	// Invisible enables the runtime's invisible-reader fast path
+	// (STMConfig.InvisibleReaders): transactions that only read commit by
+	// version validation instead of acquiring ownership. Most interesting
+	// under high ReadFrac, where whole transactions stay read-only.
+	Invisible bool
 	// MeanOps is the mean transaction size; sizes are 1 + Geometric so a
 	// transaction always does at least one operation. Must be >= 1.
 	// Default 4.
@@ -179,6 +184,8 @@ type Row struct {
 	Arrival       string  `json:"arrival"`
 	RatePerSec    float64 `json:"rate_per_sec"`
 	Workers       int     `json:"workers"`
+	ReadFrac      float64 `json:"read_frac"`
+	Invisible     bool    `json:"invisible"`
 	Virtual       bool    `json:"virtual"`
 	Seed          uint64  `json:"seed"`
 	Ops           int     `json:"ops"`
@@ -256,11 +263,12 @@ func world(sc Scenario) (*tmbp.STM, tmds.Keyed, error) {
 	}
 	mem := tmbp.NewMemory(words)
 	rt, err := tmbp.NewSTM(tmbp.STMConfig{
-		Table:    tab,
-		Memory:   mem,
-		CM:       sc.CM,
-		Seed:     sc.Seed,
-		Recorder: sc.Recorder,
+		Table:            tab,
+		Memory:           mem,
+		CM:               sc.CM,
+		Seed:             sc.Seed,
+		Recorder:         sc.Recorder,
+		InvisibleReaders: sc.Invisible,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -336,6 +344,8 @@ func Run(sc Scenario) (*Result, error) {
 		Arrival:    sc.Arrival,
 		RatePerSec: sc.RatePerSec,
 		Workers:    sc.Workers,
+		ReadFrac:   sc.ReadFrac,
+		Invisible:  sc.Invisible,
 		Virtual:    sc.Virtual,
 		Seed:       sc.Seed,
 		Ops:        sc.Ops,
@@ -394,6 +404,12 @@ func runVirtual(sc Scenario, rt *tmbp.STM, w tmds.Keyed, txns []txnSpec) (*Hist,
 	return hist, clock.Now(), nil
 }
 
+// wallSetupHook, when non-nil, runs after runWall's worker setup and just
+// before the clock anchors — where thread registration and allocation used
+// to eat into the schedule. The regression test stretches this window to
+// prove setup cost stays out of the measured latencies.
+var wallSetupHook func()
+
 // runWall is the measurement mode: a dispatcher goroutine paces the plan's
 // arrivals on the wall clock into a fully-buffered channel (so a backlog
 // never blocks the arrival process — the open-loop property), and Workers
@@ -401,7 +417,13 @@ func runVirtual(sc Scenario, rt *tmbp.STM, w tmds.Keyed, txns []txnSpec) (*Hist,
 // into its own histogram. Per-worker histograms make the record path
 // lock-free by ownership; they merge after the run.
 func runWall(sc Scenario, rt *tmbp.STM, w tmds.Keyed, txns []txnSpec) (*Hist, int64, error) {
-	clock := NewWallClock()
+	// The run's t=0 is anchored immediately before the dispatch loop, not at
+	// entry: anchoring first and then building channels, histograms, and
+	// worker threads would leave the earliest arrivals already in the past
+	// by the time dispatch starts, firing them as one burst whose measured
+	// latency is really setup time. Workers observe clock strictly after
+	// receiving from work, so publishing it before the first send is sound.
+	var clock Clock
 	work := make(chan *txnSpec, len(txns))
 	hists := make([]*Hist, sc.Workers)
 	errs := make([]error, sc.Workers)
@@ -424,6 +446,10 @@ func runWall(sc Scenario, rt *tmbp.STM, w tmds.Keyed, txns []txnSpec) (*Hist, in
 			}
 		}(i)
 	}
+	if wallSetupHook != nil {
+		wallSetupHook()
+	}
+	clock = NewWallClock()
 	for i := range txns {
 		t := &txns[i]
 		clock.WaitUntil(t.arrival)

@@ -6,6 +6,7 @@ import (
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"tmbp/internal/xrand"
 )
@@ -242,6 +243,35 @@ func TestWallClockRun(t *testing.T) {
 	if r.Row.P50Ns > r.Row.P99Ns || r.Row.P99Ns > r.Row.P999Ns || r.Row.P999Ns > r.Row.MaxNs {
 		t.Fatalf("quantiles not monotone: p50=%d p99=%d p999=%d max=%d",
 			r.Row.P50Ns, r.Row.P99Ns, r.Row.P999Ns, r.Row.MaxNs)
+	}
+}
+
+// TestWallClockAnchoredAtDispatch is the regression test for the wall-mode
+// anchoring bug: the clock used to start at runWall entry, so the time spent
+// allocating histograms and registering worker threads counted against the
+// earliest scheduled arrivals — they were already "late" at dispatch and fired
+// as a burst whose recorded latency was really setup time. The hook stretches
+// that setup window to a grotesque 80ms; with the anchor at dispatch start,
+// none of it may leak into the measured tail.
+func TestWallClockAnchoredAtDispatch(t *testing.T) {
+	const pause = 80 * time.Millisecond
+	wallSetupHook = func() { time.Sleep(pause) }
+	defer func() { wallSetupHook = nil }()
+	sc := Scenario{
+		Struct: "hashmap", Table: "tagless", CM: "karma",
+		RatePerSec: 1e6, Workers: 2, Ops: 500, Keys: 256,
+	}
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hist.Count() != uint64(sc.Ops) {
+		t.Fatalf("recorded %d latencies, want %d", r.Hist.Count(), sc.Ops)
+	}
+	// Every latency inherited the full pause before the fix. Half of it is
+	// a generous ceiling for 500 hashmap transactions on two workers.
+	if max := time.Duration(r.Hist.Max()); max >= pause/2 {
+		t.Fatalf("max latency %v carries the %v setup pause: clock anchored before dispatch", max, pause)
 	}
 }
 

@@ -49,3 +49,38 @@ func TestLoadTracesOpaque(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadTracesOpaqueInvisible is the same integration proof for the
+// invisible-reader fast path under a read-mostly mix: every ownership-table
+// kind, recorded under contention, with read-only transactions committing by
+// version validation. Read-mostly is where the fast path actually engages —
+// most transactions never write — while the writing minority keeps genuine
+// conflicts (and validation aborts) in the trace.
+func TestLoadTracesOpaqueInvisible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recorded concurrent runs")
+	}
+	for _, table := range tmbp.TableKinds() {
+		log := opacity.NewLog()
+		sc := Scenario{
+			Struct: "hashmap", Table: table, CM: "karma",
+			RatePerSec: 1e6, Workers: 4, Ops: 400, Keys: 16,
+			ZipfS: 1.2, ReadFrac: 0.9, Invisible: true,
+			TableEntries: 256, Recorder: log,
+		}
+		r, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		res, err := opacity.CheckTrace(log.Events())
+		if err != nil {
+			t.Fatalf("%s: trace malformed: %v", table, err)
+		}
+		if !res.Opaque {
+			t.Errorf("%s: invisible-reader trace not opaque: %v", table, res)
+		}
+		if res.Ops == 0 || r.Hist.Count() != 400 {
+			t.Errorf("%s: degenerate trace: %d ops, %d latencies", table, res.Ops, r.Hist.Count())
+		}
+	}
+}

@@ -164,7 +164,7 @@ func (t *Sharded) AcquireReadH(tx TxID, b addr.Block) (Outcome, ConflictInfo, Ha
 func (t *Sharded) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, ConflictInfo, Handle) {
 	s, bucket := t.locate(b)
 	if h != NoHandle && heldReads > 0 {
-		if out, ci, ok := s.upgradeByHandle(tx, heldReads, uint64(h)); ok {
+		if out, ci, ok := s.upgradeByHandle(bucket, tx, heldReads, uint64(h)); ok {
 			return out, ci, h
 		}
 	}
@@ -182,6 +182,25 @@ func (t *Sharded) ReleaseReadH(tx TxID, b addr.Block, h Handle) {
 func (t *Sharded) ReleaseWriteH(tx TxID, b addr.Block, h Handle) {
 	s, bucket := t.locate(b)
 	s.releaseWriteHAt(bucket, tx, b, h)
+}
+
+// SampleVersion implements VersionTable: one global hash locates the shard
+// and bucket, one atomic load samples the bucket's version word.
+func (t *Sharded) SampleVersion(b addr.Block) (uint64, bool) {
+	s, bucket := t.locate(b)
+	return verUnpack(s.vers[bucket].Load())
+}
+
+// ReleaseWriteV implements VersionTable.
+func (t *Sharded) ReleaseWriteV(tx TxID, b addr.Block, h Handle, stamp uint64) {
+	s, bucket := t.locate(b)
+	s.releaseWriteVAt(bucket, tx, b, h, stamp)
+}
+
+// StampVersion implements VersionTable.
+func (t *Sharded) StampVersion(b addr.Block, stamp uint64) {
+	s, bucket := t.locate(b)
+	verRaise(&s.vers[bucket], stamp)
 }
 
 // Occupied implements Table: the sum of per-shard non-empty bucket counts.
@@ -251,6 +270,7 @@ func (t *Sharded) Reset() {
 }
 
 var (
-	_ Table       = (*Sharded)(nil)
-	_ HandleTable = (*Sharded)(nil)
+	_ Table        = (*Sharded)(nil)
+	_ HandleTable  = (*Sharded)(nil)
+	_ VersionTable = (*Sharded)(nil)
 )

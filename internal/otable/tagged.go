@@ -110,6 +110,15 @@ type Tagged struct {
 	h     hash.Func
 	heads []atomic.Uint64 // per-bucket chain head link {0, gen, idx}; 0 = empty
 	live  []atomic.Int32  // per-bucket count of held (Read/Write) records
+	// vers holds one version word per bucket ({stamp, active-writer count},
+	// see VersionTable). The version lives on the bucket, not the record:
+	// records are reaped and recycled, and a stamp that vanished with its
+	// record could let a stale recorded version validate against a fresh
+	// record's zero. Bucket granularity means blocks that alias into one
+	// bucket share a version — an aliased commit costs invisible readers a
+	// spurious validation failure (the paper's birthday-paradox aliasing,
+	// resurfacing at validation granularity), never a wrong value.
+	vers []atomic.Uint64
 	// stripes hold the per-stripe free lists of retired records. Retiring
 	// and allocating through the stripe of the operated-on bucket keeps
 	// pool traffic spread out the same way striped locks would spread lock
@@ -141,13 +150,27 @@ const (
 	maxRecords = maxSegs * segSize
 )
 
-// reapDepth is the chain depth (in records traversed, any state) past
+// reapDepth is the base chain depth (in records traversed, any state) past
 // which a walk condemns and removes the free records it passes. Claimable
 // records shallower than this are left in place — they are the reuse fast
-// path for recurring tags — so steady working sets never pay removal, while
-// workloads that stream unique tags through a bucket keep its chain
-// bounded near reapDepth.
+// path for recurring tags. The effective threshold is occupancy-adaptive:
+// a bucket holding n live records tolerates reapDepth+n physical records
+// before reaping, so a deep working set keeps its parked records (each
+// held record legitimately accounts for one future parked record) while a
+// bucket streaming unique tags has live ≈ 0 and keeps its chain bounded
+// near the base depth, preserving the tag-streaming bound.
 const reapDepth = 3
+
+// reapAllowance returns the extra physical-chain depth bucket idx is
+// allowed beyond reapDepth before free records get condemned: its current
+// live-record count. Loaded lazily — only on walks already deep enough to
+// consider reaping — so shallow hot-path walks never touch the counter.
+func (t *Tagged) reapAllowance(idx uint64) uint64 {
+	if lv := t.live[idx].Load(); lv > 0 {
+		return uint64(lv)
+	}
+	return 0
+}
 
 // recSeg is one slab segment.
 type recSeg [segSize]record
@@ -214,6 +237,7 @@ func NewTagged(h hash.Func) *Tagged {
 		h:       h,
 		heads:   make([]atomic.Uint64, n),
 		live:    make([]atomic.Int32, n),
+		vers:    make([]atomic.Uint64, n),
 		stripes: make([]stripe, stripes),
 		mask:    stripes - 1,
 		segs:    make([]atomic.Pointer[recSeg], maxSegs),
@@ -395,10 +419,11 @@ restart:
 				}
 				return rec, st, cur, head, depth, true
 			}
-			if phys >= reapDepth {
-				// Deep free record: condemn it (arbitrating against a
-				// concurrent claim on the state word) and splice it out
-				// with the predecessor we already hold.
+			if phys >= reapDepth && phys >= reapDepth+t.reapAllowance(idx) {
+				// Deep free record (past the occupancy-adaptive threshold):
+				// condemn it (arbitrating against a concurrent claim on the
+				// state word) and splice it out with the predecessor we
+				// already hold.
 				if !rec.state.CompareAndSwap(st, packRec(deadMode, linkGen(cur), 0)) {
 					goto restart
 				}
@@ -463,6 +488,13 @@ func (t *Tagged) insertAt(idx uint64, b addr.Block, m Mode, payload uint32, head
 	// condemn this record — cannot run before this store: the grant has
 	// not yet been returned to the caller.
 	r.next.Store(headSeen)
+	if m == Write {
+		// Count the writer into the bucket's version word before the grant
+		// is returned: the caller cannot write data before this, so an
+		// invisible reader that misses the count can only have sampled
+		// before any mutation existed.
+		verEnter(&t.vers[idx])
+	}
 	if t.live[idx].Add(1) == 1 {
 		t.occ.Add(1)
 	}
@@ -553,24 +585,26 @@ func (t *Tagged) AcquireWrite(tx TxID, b addr.Block, heldReads uint32) (Outcome,
 
 // AcquireWriteH implements HandleTable. With a valid handle for a held
 // read share, the read→write upgrade is a single generation-validated
-// state CAS with no chain walk (and no bucket hash) — the upgrade half of
-// release-by-handle.
+// state CAS with no chain walk; the bucket hash is computed up front
+// either way, because a successful upgrade must count the new writer into
+// the bucket's version word.
 func (t *Tagged) AcquireWriteH(tx TxID, b addr.Block, heldReads uint32, h Handle) (Outcome, ConflictInfo, Handle) {
+	idx := t.h.Index(b)
 	if h != NoHandle && heldReads > 0 {
-		if out, ci, ok := t.upgradeByHandle(tx, heldReads, uint64(h)); ok {
+		if out, ci, ok := t.upgradeByHandle(idx, tx, heldReads, uint64(h)); ok {
 			return out, ci, h
 		}
 	}
-	out, ci, link := t.acquireWriteAt(t.h.Index(b), tx, b, heldReads)
+	out, ci, link := t.acquireWriteAt(idx, tx, b, heldReads)
 	return out, ci, Handle(link)
 }
 
 // upgradeByHandle attempts the read→write upgrade directly on the record
-// named by handle link h. It reports ok=false when the handle is stale
-// (generation mismatch) or the record is not in a state the caller's read
-// share could pin — the caller then falls back to the walking path, whose
-// panics diagnose genuine bookkeeping bugs.
-func (t *Tagged) upgradeByHandle(tx TxID, heldReads uint32, h uint64) (Outcome, ConflictInfo, bool) {
+// named by handle link h, in bucket idx. It reports ok=false when the
+// handle is stale (generation mismatch) or the record is not in a state the
+// caller's read share could pin — the caller then falls back to the walking
+// path, whose panics diagnose genuine bookkeeping bugs.
+func (t *Tagged) upgradeByHandle(idx uint64, tx TxID, heldReads uint32, h uint64) (Outcome, ConflictInfo, bool) {
 	r := t.rec(linkIdx(h))
 	g := linkGen(h)
 	for {
@@ -590,6 +624,7 @@ func (t *Tagged) upgradeByHandle(tx TxID, heldReads uint32, h uint64) (Outcome, 
 			return ConflictReaders, ReadersConflict(payload - heldReads), true
 		}
 		if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
+			verEnter(&t.vers[idx])
 			t.stats.writeAcquires.Add(1)
 			t.stats.upgrades.Add(1)
 			return Upgraded, NoConflict, true
@@ -619,6 +654,7 @@ func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uin
 			switch recMode(st) {
 			case Free: // claim the parked record in place
 				if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
+					verEnter(&t.vers[idx])
 					t.grant(idx)
 					t.stats.writeAcquires.Add(1)
 					return Granted, NoConflict, rlink
@@ -631,6 +667,7 @@ func (t *Tagged) acquireWriteAt(idx uint64, tx TxID, b addr.Block, heldReads uin
 				}
 				if heldReads == payload {
 					if r.state.CompareAndSwap(st, packRec(Write, g, uint32(tx))) {
+						verEnter(&t.vers[idx])
 						t.stats.writeAcquires.Add(1)
 						t.stats.upgrades.Add(1)
 						return Upgraded, NoConflict, rlink
@@ -740,11 +777,36 @@ func (t *Tagged) ReleaseWriteH(tx TxID, b addr.Block, h Handle) {
 	t.releaseWriteHAt(t.h.Index(b), tx, b, h)
 }
 
-// releaseWriteHAt is ReleaseWriteH with the bucket index precomputed. A
-// write record has exactly one legitimate releaser, so the single CAS
-// cannot be contended by correct code; any mismatch routes to the walking
-// release for diagnosis.
+// releaseWriteHAt is ReleaseWriteH with the bucket index precomputed: the
+// abort-path release, which uncounts the writer from the bucket's version
+// word without publishing a stamp (memory was never mutated, so the old
+// stamp still describes it).
 func (t *Tagged) releaseWriteHAt(idx uint64, tx TxID, b addr.Block, h Handle) {
+	t.releaseWriteOwnHAt(idx, tx, b, h)
+	verLeave(&t.vers[idx])
+}
+
+// releaseWriteAt is releaseWriteHAt without a handle.
+func (t *Tagged) releaseWriteAt(idx uint64, tx TxID, b addr.Block) {
+	t.releaseWriteOwnAt(idx, tx, b)
+	verLeave(&t.vers[idx])
+}
+
+// releaseWriteVAt is the commit-path release: it raises the bucket stamp
+// (and uncounts the writer) in one CAS ordered before the ownership
+// release, so any acquire or read validation that observes the slot free
+// afterwards also observes the stamp.
+func (t *Tagged) releaseWriteVAt(idx uint64, tx TxID, b addr.Block, h Handle, stamp uint64) {
+	verPublish(&t.vers[idx], stamp)
+	t.releaseWriteOwnHAt(idx, tx, b, h)
+}
+
+// releaseWriteOwnHAt releases write ownership through a handle, without
+// touching the version word (the caller has accounted for the writer
+// count). A write record has exactly one legitimate releaser, so the single
+// CAS cannot be contended by correct code; any mismatch routes to the
+// walking release for diagnosis.
+func (t *Tagged) releaseWriteOwnHAt(idx uint64, tx TxID, b addr.Block, h Handle) {
 	if h != NoHandle {
 		r := t.rec(linkIdx(uint64(h)))
 		g := linkGen(uint64(h))
@@ -756,13 +818,13 @@ func (t *Tagged) releaseWriteHAt(idx uint64, tx TxID, b addr.Block, h Handle) {
 			return
 		}
 	}
-	t.releaseWriteAt(idx, tx, b)
+	t.releaseWriteOwnAt(idx, tx, b)
 }
 
-// releaseWriteAt is ReleaseWrite with the bucket index precomputed. See
+// releaseWriteOwnAt is the walking form of releaseWriteOwnHAt. See
 // releaseReadAt for the linearization; a write record has exactly one
 // legitimate releaser, so the CAS to Free can only be contended by bugs.
-func (t *Tagged) releaseWriteAt(idx uint64, tx TxID, b addr.Block) {
+func (t *Tagged) releaseWriteOwnAt(idx uint64, tx TxID, b addr.Block) {
 	t.stats.releaseWalks.Add(1)
 	r, st, rlink, _, _, found := t.walk(idx, b)
 	if !found {
@@ -776,6 +838,21 @@ func (t *Tagged) releaseWriteAt(idx uint64, tx TxID, b addr.Block) {
 	}
 	t.ungrant(idx)
 	t.stats.releases.Add(1)
+}
+
+// SampleVersion implements VersionTable: one hash, one atomic load.
+func (t *Tagged) SampleVersion(b addr.Block) (uint64, bool) {
+	return verUnpack(t.vers[t.h.Index(b)].Load())
+}
+
+// ReleaseWriteV implements VersionTable.
+func (t *Tagged) ReleaseWriteV(tx TxID, b addr.Block, h Handle, stamp uint64) {
+	t.releaseWriteVAt(t.h.Index(b), tx, b, h, stamp)
+}
+
+// StampVersion implements VersionTable.
+func (t *Tagged) StampVersion(b addr.Block, stamp uint64) {
+	verRaise(&t.vers[t.h.Index(b)], stamp)
 }
 
 // Occupied implements Table: the number of buckets holding at least one
@@ -853,6 +930,9 @@ func (t *Tagged) Reset() {
 	for i := range t.live {
 		t.live[i].Store(0)
 	}
+	for i := range t.vers {
+		t.vers[i].Store(0)
+	}
 	for i := range t.stripes {
 		t.stripes[i].free.Store(0)
 	}
@@ -862,6 +942,7 @@ func (t *Tagged) Reset() {
 }
 
 var (
-	_ Table       = (*Tagged)(nil)
-	_ HandleTable = (*Tagged)(nil)
+	_ Table        = (*Tagged)(nil)
+	_ HandleTable  = (*Tagged)(nil)
+	_ VersionTable = (*Tagged)(nil)
 )

@@ -262,6 +262,87 @@ func physChainLen(t *Tagged, idx uint64) int {
 	return n
 }
 
+// TestTaggedReapProtectsOccupiedBuckets pins the occupancy-adaptive half of
+// the reaping contract: a bucket's live records raise its condemnation
+// threshold by their count, so a deep working set keeps its parked free
+// records — the reuse fast path — while a cold bucket in the same table
+// still reaps at the base depth, and the protection evaporates the moment
+// the live records release.
+func TestTaggedReapProtectsOccupiedBuckets(t *testing.T) {
+	const (
+		buckets = 16
+		hot     = uint64(3)
+		cold    = uint64(7)
+		live    = 4
+		stream  = 200
+	)
+	tab := newTagged(buckets)
+	// Occupy the hot bucket: live records deepen its chain permanently and
+	// raise its reap allowance from 0 to live.
+	for i := 0; i < live; i++ {
+		b := addr.Block(hot + uint64(i)*buckets)
+		if out, _ := tab.AcquireWrite(TxID(i+1), b, 0); out != Granted {
+			t.Fatalf("live acquire %d: %v", i, out)
+		}
+	}
+	// Stream unique tags through both buckets. The cold bucket must keep its
+	// tag-streaming bound; the hot bucket is allowed — and expected — to park
+	// more free records, but still boundedly many.
+	maxHot, maxCold := 0, 0
+	for i := 0; i < stream; i++ {
+		hb := addr.Block(hot + uint64(100+i)*buckets)
+		cb := addr.Block(cold + uint64(i)*buckets)
+		for _, b := range []addr.Block{hb, cb} {
+			if out, _ := tab.AcquireWrite(9, b, 0); out != Granted {
+				t.Fatalf("streamed tag %d: %v", b, out)
+			}
+			tab.ReleaseWrite(9, b)
+		}
+		if n := physChainLen(tab, hot); n > maxHot {
+			maxHot = n
+		}
+		if n := physChainLen(tab, cold); n > maxCold {
+			maxCold = n
+		}
+	}
+	if maxCold > reapDepth+2 {
+		t.Fatalf("cold chain reached %d records, want <= reapDepth+2 = %d: another bucket's occupancy leaked into the allowance",
+			maxCold, reapDepth+2)
+	}
+	// The hot bound scales with occupancy: live held records, up to
+	// reapDepth+live parked frees below the condemnation threshold, the
+	// freshly inserted record, and one record of unlink slack.
+	if maxHot > reapDepth+2*live+2 {
+		t.Fatalf("hot chain reached %d records, want <= reapDepth+2*live+2 = %d",
+			maxHot, reapDepth+2*live+2)
+	}
+	// The protection must have done something: the hot bucket retains more
+	// parked free records than base-depth reaping would ever allow.
+	if frees := physChainLen(tab, hot) - live; frees <= reapDepth {
+		t.Fatalf("hot bucket parks only %d free records despite %d live, want > reapDepth = %d",
+			frees, live, reapDepth)
+	}
+	// Release the working set: the allowance drops to zero, and the next
+	// walks condemn the now-unprotected surplus back to the base bound.
+	for i := 0; i < live; i++ {
+		tab.ReleaseWrite(TxID(i+1), addr.Block(hot+uint64(i)*buckets))
+	}
+	for i := 0; i < 5; i++ {
+		b := addr.Block(hot + uint64(1000+i)*buckets)
+		if out, _ := tab.AcquireWrite(9, b, 0); out != Granted {
+			t.Fatalf("post-release tag %d: %v", i, out)
+		}
+		tab.ReleaseWrite(9, b)
+	}
+	if n := physChainLen(tab, hot); n > reapDepth+2 {
+		t.Fatalf("hot chain still %d records after its live set released, want <= %d",
+			n, reapDepth+2)
+	}
+	if n := tab.Records(); n != 0 {
+		t.Fatalf("held records = %d, want 0", n)
+	}
+}
+
 // TestTagStreamingBoundsChainDepth is the regression test for the reaping
 // contract: a workload that streams unique tags through one bucket —
 // acquire, release, never touch the tag again — parks a free record per

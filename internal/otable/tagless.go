@@ -21,8 +21,14 @@ import (
 type Tagless struct {
 	h       hash.Func
 	entries []atomic.Uint64
-	occ     atomic.Int64
-	stats   counters
+	// vers holds one version word per entry ({stamp, active-writer count},
+	// see VersionTable): the invisible-reader read path validates against
+	// it instead of acquiring. Aliasing blocks share an entry and therefore
+	// a version, so an aliased commit costs readers a spurious validation
+	// failure, never a wrong value.
+	vers  []atomic.Uint64
+	occ   atomic.Int64
+	stats counters
 }
 
 // Entry word layout:
@@ -44,7 +50,11 @@ func unpackEntry(e uint64) (Mode, uint32) {
 
 // NewTagless builds a tagless table sized and indexed by h.
 func NewTagless(h hash.Func) *Tagless {
-	return &Tagless{h: h, entries: make([]atomic.Uint64, h.N())}
+	return &Tagless{
+		h:       h,
+		entries: make([]atomic.Uint64, h.N()),
+		vers:    make([]atomic.Uint64, h.N()),
+	}
 }
 
 // Kind implements Table.
@@ -157,6 +167,7 @@ func (t *Tagless) acquireWriteIdx(idx uint64, tx TxID, heldReads uint32) (Outcom
 		switch mode {
 		case Free:
 			if e.CompareAndSwap(old, packEntry(Write, uint32(tx))) {
+				verEnter(&t.vers[idx])
 				t.occ.Add(1)
 				t.stats.writeAcquires.Add(1)
 				return Granted, NoConflict
@@ -169,6 +180,7 @@ func (t *Tagless) acquireWriteIdx(idx uint64, tx TxID, heldReads uint32) (Outcom
 			if heldReads == payload {
 				// Every current sharer is the caller: upgrade in place.
 				if e.CompareAndSwap(old, packEntry(Write, uint32(tx))) {
+					verEnter(&t.vers[idx])
 					t.stats.writeAcquires.Add(1)
 					t.stats.upgrades.Add(1)
 					return Upgraded, NoConflict
@@ -223,8 +235,17 @@ func (t *Tagless) ReleaseWrite(tx TxID, b addr.Block) {
 	t.releaseWriteIdx(t.h.Index(b), tx)
 }
 
-// releaseWriteIdx is ReleaseWrite on a precomputed entry index.
+// releaseWriteIdx is ReleaseWrite on a precomputed entry index: the
+// abort-path release, which uncounts the writer without publishing a stamp
+// (memory was never mutated, so the old stamp still describes it).
 func (t *Tagless) releaseWriteIdx(idx uint64, tx TxID) {
+	verLeave(&t.vers[idx])
+	t.releaseWriteOwn(idx, tx)
+}
+
+// releaseWriteOwn releases write ownership of entry idx without touching
+// the version word; the caller has already accounted for the writer count.
+func (t *Tagless) releaseWriteOwn(idx uint64, tx TxID) {
 	e := &t.entries[idx]
 	for {
 		old := e.Load()
@@ -238,6 +259,28 @@ func (t *Tagless) releaseWriteIdx(idx uint64, tx TxID) {
 			return
 		}
 	}
+}
+
+// SampleVersion implements VersionTable: one hash, one atomic load.
+func (t *Tagless) SampleVersion(b addr.Block) (uint64, bool) {
+	return verUnpack(t.vers[t.h.Index(b)].Load())
+}
+
+// ReleaseWriteV implements VersionTable: publish the stamp (and uncount the
+// writer) before the ownership-releasing CAS, so any acquire that succeeds
+// after the release observes the new stamp.
+func (t *Tagless) ReleaseWriteV(tx TxID, b addr.Block, h Handle, stamp uint64) {
+	idx := uint64(h) - 1
+	if h == NoHandle {
+		idx = t.h.Index(b)
+	}
+	verPublish(&t.vers[idx], stamp)
+	t.releaseWriteOwn(idx, tx)
+}
+
+// StampVersion implements VersionTable.
+func (t *Tagless) StampVersion(b addr.Block, stamp uint64) {
+	verRaise(&t.vers[t.h.Index(b)], stamp)
 }
 
 // Occupied implements Table.
@@ -257,6 +300,9 @@ func (t *Tagless) Reset() {
 	for i := range t.entries {
 		t.entries[i].Store(0)
 	}
+	for i := range t.vers {
+		t.vers[i].Store(0)
+	}
 	t.occ.Store(0)
 	t.stats.reset()
 }
@@ -268,6 +314,7 @@ func (t *Tagless) EntryState(i uint64) (Mode, uint32) {
 }
 
 var (
-	_ Table       = (*Tagless)(nil)
-	_ HandleTable = (*Tagless)(nil)
+	_ Table        = (*Tagless)(nil)
+	_ HandleTable  = (*Tagless)(nil)
+	_ VersionTable = (*Tagless)(nil)
 )

@@ -148,6 +148,19 @@ type Config struct {
 	Granularity Granularity
 	// Isolation for non-transactional accesses; defaults to WeakIsolation.
 	Isolation Isolation
+	// InvisibleReaders enables the version-validated read-only fast path:
+	// a transaction that has performed only reads validates each read
+	// against the table's per-cell version stamps (snapshotting the
+	// runtime's epoch clock at begin and revalidating the read set on
+	// epoch advance and at commit) instead of ever acquiring ownership —
+	// so read-only transactions are invisible to the ownership table and
+	// to each other. The transaction falls back transparently to the
+	// acquiring path on its first Write/WriteBlock (promoting its read set
+	// to real read ownership) or after a bounded number of validation
+	// aborts (FallbackAfter when positive, else an internal default).
+	// Requires a Table implementing otable.VersionTable; all built-in
+	// tables do.
+	InvisibleReaders bool
 	// MaxAttempts bounds the retries of one transaction (0 = unlimited).
 	MaxAttempts int
 	// BackoffBase is the initial backoff budget after an abort, measured
@@ -212,6 +225,14 @@ type Runtime struct {
 	// lower stamp = older = senior. Drawn lazily (on a transaction's first
 	// abort), so conflict-free execution never touches it.
 	clock atomic.Uint64
+	// epoch is the global commit clock of the invisible-reader fast path
+	// (Config.InvisibleReaders): every writing commit draws one stamp with
+	// Add(1) and publishes it to the version cells of the chunks it wrote,
+	// and read-only transactions validate against it. Untouched — and
+	// never advanced — when invisible readers are disabled or no writes
+	// commit, so a read-only epoch comparison doubles as "nothing anywhere
+	// has committed since my snapshot".
+	epoch atomic.Uint64
 
 	// Serial-fallback gate: a FIFO ticket lock over the whole runtime (see
 	// fallback.go). fbTicket counts tickets issued, fbServing the ticket
@@ -269,8 +290,18 @@ type threadCounters struct {
 	// the thread has suffered (tail-behavior signal, see Stats).
 	fbCommits atomic.Uint64
 	maxStreak atomic.Uint64
-	id        otable.TxID // owning thread, for deterministic seniority tie-breaks
-	_         [128 - 10*8 - 4]byte
+	// Invisible-reader fast-path counters (Config.InvisibleReaders):
+	// roCommits counts transactions that committed with zero table
+	// acquires, roValAborts the invisible attempts killed by version
+	// validation, roPromotes the invisible attempts that fell back to
+	// acquiring on their first write, roExtends the successful
+	// read-snapshot extensions.
+	roCommits   atomic.Uint64
+	roValAborts atomic.Uint64
+	roPromotes  atomic.Uint64
+	roExtends   atomic.Uint64
+	id          otable.TxID // owning thread, for deterministic seniority tie-breaks
+	_           [128 - 14*8 - 4]byte
 }
 
 // completions reports how many attempts (commits or aborts) the thread has
@@ -299,6 +330,11 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if !validCM(cfg.CM) {
 		return nil, fmt.Errorf("stm: unknown CM policy %q (want one of %v)", cfg.CM, CMKinds())
+	}
+	if cfg.InvisibleReaders {
+		if _, ok := cfg.Table.(otable.VersionTable); !ok {
+			return nil, fmt.Errorf("stm: InvisibleReaders requires an ownership table implementing otable.VersionTable, %q does not", cfg.Table.Kind())
+		}
 	}
 	if cfg.BackoffBase == 0 {
 		cfg.BackoffBase = 4
@@ -331,6 +367,21 @@ type Stats struct {
 	// aborts any single thread suffered — the tail the mean abort rate
 	// hides. A commit, user error, or terminal abort ends a run.
 	MaxConsecutiveAborts uint64
+	// ROCommits counts transactions that committed entirely on the
+	// invisible-reader fast path — version-validated reads, zero
+	// ownership-table acquires (Config.InvisibleReaders).
+	ROCommits uint64
+	// ROValidationAborts counts invisible read-only attempts aborted by
+	// version validation: a concurrent commit (true, or aliased into the
+	// same version cell) touched a chunk the attempt had read.
+	ROValidationAborts uint64
+	// ROPromotions counts invisible attempts that transparently promoted
+	// their read set to real read ownership on their first write.
+	ROPromotions uint64
+	// ROExtensions counts successful read-snapshot extensions: a read
+	// observed a stamp newer than the attempt's snapshot and the whole
+	// read set revalidated at a newer epoch instead of aborting.
+	ROExtensions uint64
 }
 
 // Stats returns a snapshot of the runtime counters, aggregated over all
@@ -350,6 +401,10 @@ func (rt *Runtime) Stats() Stats {
 		s.NTProbes += c.ntReads.Load()
 		s.NTConflicts += c.ntConfl.Load()
 		s.FallbackCommits += c.fbCommits.Load()
+		s.ROCommits += c.roCommits.Load()
+		s.ROValidationAborts += c.roValAborts.Load()
+		s.ROPromotions += c.roPromotes.Load()
+		s.ROExtensions += c.roExtends.Load()
 		if streak := c.maxStreak.Load(); streak > s.MaxConsecutiveAborts {
 			s.MaxConsecutiveAborts = streak
 		}
@@ -400,16 +455,26 @@ func (rt *Runtime) NewThread() *Thread {
 		slotID = bs.SlotsAreBlocks()
 	}
 	ht, _ := rt.cfg.Table.(otable.HandleTable)
+	var vt otable.VersionTable
+	if rt.cfg.InvisibleReaders {
+		vt, _ = rt.cfg.Table.(otable.VersionTable) // validated in New
+	}
+	roLimit := rt.cfg.FallbackAfter
+	if roLimit <= 0 {
+		roLimit = defaultROFallback
+	}
 	th := &Thread{
 		rt:       rt,
 		id:       id,
 		ctr:      ctr,
 		tab:      rt.cfg.Table,
 		ht:       ht,
+		vt:       vt,
 		mem:      rt.cfg.Memory,
 		wordGran: rt.cfg.Granularity == WordGranularity,
 		slotID:   slotID,
 		fb:       rt.cfg.FallbackAfter,
+		roLimit:  roLimit,
 		rec:      rt.cfg.Recorder,
 		rng:      xrand.NewWithStream(rt.cfg.Seed, uint64(id)),
 	}
@@ -434,7 +499,12 @@ type Thread struct {
 	// the plain Table interface. When present, acquires record the granted
 	// record's handle in the access-set entry and commit/abort release by
 	// handle — no table re-walk on the serial commit path.
-	ht       otable.HandleTable
+	ht otable.HandleTable
+	// vt is tab's version-sampling face, non-nil only when
+	// Config.InvisibleReaders is set. Its presence is the master switch of
+	// the invisible-reader fast path: vt == nil costs the hot paths one nil
+	// check and nothing else.
+	vt       otable.VersionTable
 	mem      *Memory
 	wordGran bool // ownership tracked per word rather than per block
 	slotID   bool // table slots are blocks: no cross-chunk slot aliasing
@@ -450,12 +520,30 @@ type Thread struct {
 	// Atomic; the waiter polls it so CM waits and fallback-gate waits end
 	// promptly on cancellation. Only the owning goroutine touches it.
 	ctx    context.Context
-	active bool                // a transaction is executing: nesting guard
-	streak int                 // consecutive conflict aborts of the running transaction
-	lastFP int                 // access-set size of the last finished attempt
-	opp    otable.ConflictInfo // opponent of the conflict that killed the last attempt
-	tx     Tx
+	active bool // a transaction is executing: nesting guard
+	// Invisible-reader attempt state: invisible marks an attempt still on
+	// the read-only fast path (cleared by the first write's promotion), rv
+	// is its epoch snapshot, roAbort flags that the in-flight abort is a
+	// version-validation kill, and roStreak counts such kills within the
+	// current transaction — at roLimit the attempts give up on invisibility
+	// and start acquiring.
+	invisible bool
+	roAbort   bool
+	rv        uint64
+	roStreak  int
+	roLimit   int
+	streak    int                 // consecutive conflict aborts of the running transaction
+	lastFP    int                 // access-set size of the last finished attempt
+	opp       otable.ConflictInfo // opponent of the conflict that killed the last attempt
+	tx        Tx
 }
+
+// defaultROFallback bounds the validation aborts a transaction tolerates on
+// the invisible-reader path before retrying with ordinary acquiring reads,
+// when Config.FallbackAfter does not supply a tighter bound. Validation has
+// no contention manager protecting it — an unlucky read-only transaction
+// overlapping a steady stream of writers could otherwise starve.
+const defaultROFallback = 8
 
 // ID returns the thread's transaction identity.
 func (th *Thread) ID() otable.TxID { return th.id }
@@ -532,6 +620,7 @@ func (th *Thread) atomic(ctx context.Context, fn func(tx *Tx) error) error {
 			th.rt.serialRelease()
 		}
 		th.streak = 0
+		th.roStreak = 0
 		th.active = false
 		th.ctx = nil
 	}()
@@ -573,6 +662,13 @@ func (th *Thread) atomic(ctx context.Context, fn func(tx *Tx) error) error {
 			th.ctr.started.Add(1)
 		}
 		th.desc.Begin()
+		if th.vt != nil {
+			// Serial attempts run with the runtime drained — acquiring is
+			// uncontended and validation could only lose to the very writers
+			// the fallback gate parked, so they skip the fast path.
+			th.invisible = !serial && th.roStreak < th.roLimit
+			th.rv = th.rt.epoch.Load()
+		}
 		if r := th.rec; r != nil {
 			// Recorded before the attempt's first acquire: the Begin index
 			// precedes every memory effect of the attempt.
@@ -591,6 +687,11 @@ func (th *Thread) atomic(ctx context.Context, fn func(tx *Tx) error) error {
 			return nil // committed
 		}
 		th.ctr.aborts.Add(1)
+		if th.roAbort {
+			th.roAbort = false
+			th.roStreak++
+			th.ctr.roValAborts.Add(1)
+		}
 		th.streak++
 		if uint64(th.streak) > th.ctr.maxStreak.Load() {
 			th.ctr.maxStreak.Store(uint64(th.streak))
@@ -639,6 +740,9 @@ func (th *Thread) attempt(fn func(tx *Tx) error) (err error, conflicted bool) {
 		th.rollback()
 		return err, false
 	}
+	if th.invisible {
+		th.validateReadSet()
+	}
 	th.commit()
 	return nil, false
 }
@@ -658,13 +762,18 @@ func (th *Thread) commit() {
 			words[e.Word+w].Store(e.Vals[w])
 		}
 	}
-	th.releaseAll()
+	th.releaseAll(true)
 	if th.fb > 0 {
 		// Release precedes finished: when the serial drain observes
 		// started == finished, every record this attempt held is free.
 		th.ctr.finished.Add(1)
 	}
 	th.ctr.commits.Add(1)
+	if th.invisible {
+		// Still on the fast path at commit: the transaction read its whole
+		// footprint without a single table acquire.
+		th.ctr.roCommits.Add(1)
+	}
 	if r := th.rec; r != nil {
 		// Recorded after write-back (and release): the Commit index
 		// follows every memory effect of the attempt, so the recorded
@@ -677,7 +786,7 @@ func (th *Thread) commit() {
 // rollback discards speculative state and releases ownership.
 func (th *Thread) rollback() {
 	th.desc.Status = txn.Aborted
-	th.releaseAll()
+	th.releaseAll(false)
 	if th.fb > 0 {
 		// Counted on every attempt-ending path — conflict, user error,
 		// user panic — so the serial drain never waits on a dead attempt.
@@ -696,15 +805,32 @@ func (th *Thread) rollback() {
 // On handle-issuing tables each release is one generation-validated state
 // CAS on the record the entry's handle names: the table is never re-walked
 // on the commit or abort path.
-func (th *Thread) releaseAll() {
+//
+// When invisible readers are enabled and the walk is a committing one, the
+// first write release draws one stamp from the epoch clock and every write
+// release publishes it to its slot's version cell (strictly before ownership
+// drops, see otable.VersionTable). The epoch is drawn lazily so read-only
+// commits — which hold no write slots — never advance it, keeping the
+// epoch==rv commit shortcut of concurrent invisible readers valid. Aborting
+// walks publish nothing: memory was never mutated, so the old stamps still
+// describe it.
+func (th *Thread) releaseAll(committed bool) {
 	set := &th.desc.Set
 	n := set.Len()
 	th.lastFP = n
+	var stamp uint64
 	if ht := th.ht; ht != nil {
 		for i := 0; i < n; i++ {
 			e := set.At(i)
 			if e.Perm&txn.SlotWrite != 0 {
-				ht.ReleaseWriteH(th.id, e.Rel, otable.Handle(e.Hnd))
+				if committed && th.vt != nil {
+					if stamp == 0 {
+						stamp = th.rt.epoch.Add(1)
+					}
+					th.vt.ReleaseWriteV(th.id, e.Rel, otable.Handle(e.Hnd), stamp)
+				} else {
+					ht.ReleaseWriteH(th.id, e.Rel, otable.Handle(e.Hnd))
+				}
 			} else if e.Perm&txn.SlotRead != 0 {
 				ht.ReleaseReadH(th.id, e.Rel, otable.Handle(e.Hnd))
 			}
@@ -713,7 +839,14 @@ func (th *Thread) releaseAll() {
 		for i := 0; i < n; i++ {
 			e := set.At(i)
 			if e.Perm&txn.SlotWrite != 0 {
-				th.tab.ReleaseWrite(th.id, e.Rel)
+				if committed && th.vt != nil {
+					if stamp == 0 {
+						stamp = th.rt.epoch.Add(1)
+					}
+					th.vt.ReleaseWriteV(th.id, e.Rel, otable.NoHandle, stamp)
+				} else {
+					th.tab.ReleaseWrite(th.id, e.Rel)
+				}
 			} else if e.Perm&txn.SlotRead != 0 {
 				th.tab.ReleaseRead(th.id, e.Rel)
 			}
@@ -764,12 +897,18 @@ func (tx *Tx) Read(a addr.Addr) uint64 {
 	if e := th.desc.Set.Lookup(chunk); e != nil {
 		// Read-own-writes: the inline redo value wins over memory. Any
 		// existing entry holds at least read permission, so memory is
-		// directly readable otherwise.
+		// directly readable otherwise — except on the invisible path, where
+		// nothing is held and a load must be version-validated (or served
+		// from the entry's snapshot cache).
 		if e.WMask&(1<<widx) != 0 {
 			v = e.Vals[widx]
+		} else if th.invisible {
+			v = th.readInvisibleHit(e, word, widx)
 		} else {
 			v = th.mem.words[word].Load()
 		}
+	} else if th.invisible {
+		v = th.readInvisibleMiss(word, chunk, widx)
 	} else {
 		th.acquireReadChunk(chunk)
 		v = th.mem.words[word].Load()
@@ -787,6 +926,9 @@ func (tx *Tx) Write(a addr.Addr, v uint64) {
 	th := tx.th
 	th.fuzz()
 	word, chunk, widx := th.locate(a)
+	if th.invisible {
+		th.promote()
+	}
 	e := th.desc.Set.Lookup(chunk)
 	switch {
 	case e == nil:
@@ -809,9 +951,14 @@ func (tx *Tx) Write(a addr.Addr, v uint64) {
 func (tx *Tx) ReadBlock(b addr.Block) {
 	th := tx.th
 	th.fuzz()
-	if th.desc.Set.Lookup(b) == nil {
-		th.acquireReadChunk(b)
+	if th.desc.Set.Lookup(b) != nil {
+		return
 	}
+	if th.invisible {
+		th.readBlockInvisible(b)
+		return
+	}
+	th.acquireReadChunk(b)
 }
 
 // WriteBlock acquires write ownership of a block without logging a word
@@ -819,6 +966,9 @@ func (tx *Tx) ReadBlock(b addr.Block) {
 func (tx *Tx) WriteBlock(b addr.Block) {
 	th := tx.th
 	th.fuzz()
+	if th.invisible {
+		th.promote()
+	}
 	e := th.desc.Set.Lookup(b)
 	switch {
 	case e == nil:
@@ -983,6 +1133,186 @@ func (th *Thread) upgradeWriteChunk(e *txn.Access) {
 	}
 }
 
+// roConflict aborts an invisible attempt on a failed version validation.
+// There is no table opponent to report — the conflicting writer already
+// committed and left — so the CM sees NoConflict; the retry loop instead
+// counts the kill against roLimit, bounding how long the attempt keeps
+// betting on invisibility.
+func (th *Thread) roConflict() {
+	th.roAbort = true
+	th.conflict(otable.NoConflict)
+}
+
+// roReadRetries bounds the sample-load-resample loop of an invisible read
+// against version-cell churn before the attempt gives up.
+const roReadRetries = 4
+
+// readInvisibleMiss is the invisible first read of a chunk: validate-load-
+// revalidate against the chunk's version cell, with no table traffic.
+// A stamp at most rv with no active writer means memory holds exactly the
+// state some committed prefix ≤ rv produced; an unchanged re-sample after
+// the load means the load belongs to that state. The value is cached in the
+// entry (RMask) so repeat reads are pure probes.
+func (th *Thread) readInvisibleMiss(word uint64, chunk addr.Block, widx uint64) uint64 {
+	vt := th.vt
+	for tries := 0; ; tries++ {
+		s1, locked := vt.SampleVersion(chunk)
+		if locked {
+			// A writer is mid-flight on the cell. Waiting here would bypass
+			// the contention manager; abort and let it arbitrate.
+			th.roConflict()
+		}
+		if s1 > th.rv {
+			// The chunk committed after our snapshot. The rest of the read
+			// set may still be untouched: try to slide the snapshot forward.
+			th.extendSnapshot()
+			if s1 > th.rv {
+				// A genuine stamp cannot exceed an epoch value read after it
+				// was published; only injected staleness lands here.
+				th.roConflict()
+			}
+		}
+		v := th.mem.words[word].Load()
+		if s2, locked2 := vt.SampleVersion(chunk); !locked2 && s2 == s1 {
+			e := th.desc.Set.Insert(chunk)
+			e.Perm = txn.PermRead
+			e.Ver = s1
+			e.Vals[widx] = v
+			e.RMask = 1 << widx
+			return v
+		}
+		if tries >= roReadRetries {
+			th.roConflict()
+		}
+	}
+}
+
+// readInvisibleHit is the invisible read of a new word in an already-read
+// chunk: serve cached words from the entry's snapshot, and validate a fresh
+// load by re-sampling the version cell. An unchanged stamp with no active
+// writer pins the load to the same committed state entry.Ver named — any
+// writer that committed the cell in between necessarily raised the stamp,
+// and one still in flight shows in the writer count.
+func (th *Thread) readInvisibleHit(e *txn.Access, word uint64, widx uint64) uint64 {
+	if e.RMask&(1<<widx) != 0 {
+		return e.Vals[widx]
+	}
+	v := th.mem.words[word].Load()
+	if s, locked := th.vt.SampleVersion(e.Chunk); locked || s != e.Ver {
+		th.roConflict()
+	}
+	e.Vals[widx] = v
+	e.RMask |= 1 << widx
+	return v
+}
+
+// readBlockInvisible is the invisible ReadBlock: record the chunk in the
+// read set at its current stamp without loading a word. No re-sample is
+// needed — there is no value whose consistency could be at stake, only the
+// footprint's, which commit-time validation checks against Ver.
+func (th *Thread) readBlockInvisible(b addr.Block) {
+	s1, locked := th.vt.SampleVersion(b)
+	if locked {
+		th.roConflict()
+	}
+	if s1 > th.rv {
+		th.extendSnapshot()
+		if s1 > th.rv {
+			th.roConflict()
+		}
+	}
+	e := th.desc.Set.Insert(b)
+	e.Perm = txn.PermRead
+	e.Ver = s1
+}
+
+// extendSnapshot tries to slide an invisible attempt's epoch snapshot
+// forward after a read observed a post-snapshot stamp: if every chunk read
+// so far still carries exactly the stamp it was validated at, the reads all
+// remain atomic at the *current* epoch and rv may advance to it (the LSA
+// "lazy snapshot" extension). Any mismatch aborts.
+func (th *Thread) extendSnapshot() {
+	newRv := th.rt.epoch.Load()
+	set := &th.desc.Set
+	for i, n := 0, set.Len(); i < n; i++ {
+		e := set.At(i)
+		if s, locked := th.vt.SampleVersion(e.Chunk); locked || s != e.Ver {
+			th.roConflict()
+		}
+	}
+	th.rv = newRv
+	th.ctr.roExtends.Add(1)
+}
+
+// validateReadSet is the commit-time check of an invisible attempt: every
+// read chunk must still carry the stamp its reads were validated against.
+// If the epoch clock itself has not moved since the snapshot, nothing
+// anywhere committed a write and the read set is vacuously intact — the
+// expected case for read-mostly phases, making read-only commit O(1).
+func (th *Thread) validateReadSet() {
+	if th.rt.epoch.Load() == th.rv {
+		return
+	}
+	set := &th.desc.Set
+	for i, n := 0, set.Len(); i < n; i++ {
+		e := set.At(i)
+		if s, locked := th.vt.SampleVersion(e.Chunk); locked || s != e.Ver {
+			th.roConflict()
+		}
+	}
+}
+
+// promote transparently moves an invisible attempt onto the acquiring path
+// at its first write: every chunk read so far gains real read ownership and
+// is then revalidated, after which the ordinary encounter-time protocol
+// (upgrade on write, release at end) applies unchanged. The already-read
+// values stay valid — ownership now pins them — so user code never observes
+// the switch.
+func (th *Thread) promote() {
+	th.invisible = false
+	th.ctr.roPromotes.Add(1)
+	set := &th.desc.Set
+	for i, n := 0, set.Len(); i < n; i++ {
+		th.promoteEntry(set.At(i))
+	}
+}
+
+// promoteEntry acquires read ownership for one invisible entry (mirroring
+// acquireReadChunk's slot-coverage logic on an entry that already exists)
+// and revalidates its stamp.
+func (th *Thread) promoteEntry(e *txn.Access) {
+	set := &th.desc.Set
+	slot := uint64(e.Chunk)
+	covered := false
+	if !th.slotID {
+		slot = th.tab.SlotOf(e.Chunk)
+		covered = set.FindSlotOwner(slot) >= 0
+	}
+	e.Slot = slot
+	if !covered {
+		out, ci, hnd := th.tabAcquireRead(e.Chunk)
+		if out.Conflict() {
+			th.conflict(ci)
+		}
+		if out == otable.Granted {
+			e.Perm |= txn.SlotRead
+			e.Hnd = uint64(hnd)
+			if !th.slotID {
+				set.RecordSlotOwner(e)
+			}
+		}
+	}
+	// Ownership (ours, or a covering earlier entry's) now pins the chunk
+	// against writers; the stamp must still be the one the invisible reads
+	// validated against. The writer count is deliberately ignored: a writer
+	// on a chunk aliasing into the same cell may legitimately be active,
+	// and a committed writer of *this* chunk would have raised the stamp
+	// before our acquire could have succeeded.
+	if s, _ := th.vt.SampleVersion(e.Chunk); s != e.Ver {
+		th.roConflict()
+	}
+}
+
 // FootprintBlocks returns the number of distinct chunks the transaction has
 // accessed so far.
 func (tx *Tx) FootprintBlocks() int { return tx.th.desc.FootprintBlocks() }
@@ -1044,11 +1374,20 @@ func (th *Thread) StoreNT(a addr.Addr, v uint64) error {
 	}
 	mem.store(a, v)
 	if out == otable.Granted {
-		if th.ht != nil {
+		if th.vt != nil {
+			th.vt.ReleaseWriteV(th.id, chunk, hnd, th.rt.epoch.Add(1))
+		} else if th.ht != nil {
 			th.ht.ReleaseWriteH(th.id, chunk, hnd)
 		} else {
 			th.tab.ReleaseWrite(th.id, chunk)
 		}
+	} else if th.vt != nil {
+		// AlreadyHeld: the store went through under the calling thread's own
+		// exclusive ownership and survives even if that transaction aborts —
+		// the release obligation stays with the transaction, but memory has
+		// already changed, so the version cell must advance immediately or a
+		// concurrent invisible reader could validate a torn mix.
+		th.vt.StampVersion(chunk, th.rt.epoch.Add(1))
 	}
 	return nil
 }

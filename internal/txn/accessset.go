@@ -63,15 +63,28 @@ const (
 )
 
 // Access is one chunk-granular entry of the unified log.
+//
+// Ver and RMask serve the invisible-reader fast path (internal/stm): while
+// a transaction reads without acquiring, Ver records the version stamp its
+// first read of the chunk validated against, and Vals doubles as a snapshot
+// cache — RMask marks the words whose validated values are cached there, so
+// a repeat read of the same word is a pure array probe and a read of a new
+// word in a known chunk revalidates against Ver before being cached. Once
+// the transaction promotes to the acquiring path (first write), RMask stops
+// mattering: ownership pins the chunk and WMask governs Vals as the redo
+// log. The two masks never overlap in the invisible phase because
+// promotion precedes the first write.
 type Access struct {
 	Chunk addr.Block                               // the accessed chunk: the set key
 	Slot  uint64                                   // the ownership-table slot key for Chunk
 	Rel   addr.Block                               // representative block for releasing the slot (updated on upgrade)
 	Hnd   uint64                                   // table record handle (otable.Handle) backing the slot obligation; 0 = none
 	Word  uint64                                   // memory word index of the chunk's word 0 (valid when WMask != 0)
-	Vals  [addr.BlockBytes / addr.WordBytes]uint64 // redo values, indexed by word-in-chunk
+	Ver   uint64                                   // version stamp the invisible read path validated against
+	Vals  [addr.BlockBytes / addr.WordBytes]uint64 // redo values (WMask) or invisible-read snapshot cache (RMask)
 	Idx   int32                                    // this entry's position in the dense array
 	WMask uint8                                    // which Vals are live speculative writes
+	RMask uint8                                    // which Vals are validated invisible-read snapshots
 	Perm  uint8                                    // Perm*/Slot* bits above
 }
 
