@@ -12,6 +12,7 @@ import (
 	"tmbp/internal/otable"
 	"tmbp/internal/report"
 	"tmbp/internal/stm"
+	"tmbp/tmds"
 )
 
 // runBench executes the headline STM micro-workloads against every table
@@ -83,6 +84,24 @@ func runBench(fs *flag.FlagSet, args []string) error {
 			results = append(results, r)
 		}
 	}
+	// Ordered-map rows: the skiplist's point-operation mix and a
+	// whole-structure range scan. The scan row is the one serial workload
+	// whose access set spills far past the inline region every transaction
+	// (one read per level-0 node), so its allocs/op pins the spill table's
+	// steady-state reuse and its ns/op prices the multi-hundred-block
+	// footprint.
+	for _, kind := range otable.Kinds() {
+		r, err := benchSkiplist("serial-skiplist", kind, *hashName, *entries, *serialOps/4, *seed, false)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		r, err = benchSkiplist("serial-skiplist-scan", kind, *hashName, *entries, *serialOps/100, *seed, true)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
 	for _, kind := range otable.Kinds() {
 		r, err := benchContended(kind, *hashName, *contOps, *seed)
 		if err != nil {
@@ -115,6 +134,7 @@ func runBench(fs *flag.FlagSet, args []string) error {
 	t.Note("serial-cm-*: the serial workload on the tagged table under each contention-management policy (no aborts occur; this prices the policy plumbing on the hot path)")
 	t.Note("cmabort-*: the policy's Aborted callback invoked directly with synthetic writer/reader denials, waits disabled — the per-abort decision cost (karma ranks over the lock-free board, never a mutex)")
 	t.Note("serial-ro-*: one thread, %d read-only txns of 8 reads over 8 distinct chunks; -acquire takes read ownership per chunk, -invisible validates version stamps and never touches the table", *serialOps)
+	t.Note("serial-skiplist: one thread driving the transactional skiplist's Get/Put/Delete point mix; -scan instead range-scans all 128 entries per txn — a ~130-block footprint that exercises the access set's spill table")
 	t.Note("allocs/op and B/op are process-wide malloc deltas per transaction; steady state must be 0")
 	return t.Render(os.Stdout)
 }
@@ -269,6 +289,86 @@ func benchSerialRO(workload, kind string, entries uint64, hashName string, ops i
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	_ = sink
+	st := rt.Stats()
+	commits := st.Commits - warm.Commits
+	aborts := st.Aborts - warm.Aborts
+	res := benchResult{
+		Workload:    workload,
+		Kind:        kind,
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+		Commits:     commits,
+		Aborts:      aborts,
+	}
+	if commits+aborts > 0 {
+		res.AbortRate = float64(aborts) / float64(commits+aborts)
+	}
+	return res, nil
+}
+
+// benchScanSink is the skiplist scan row's observation callback: a
+// package-level func so the measured loop carries no closure.
+func benchScanSink(_, _ uint64) error { return nil }
+
+// benchSkiplist measures the transactional skiplist through the public
+// facade — the same code path tmds users take. A half-full 512-slot
+// skiplist (even keys of [0, 256)) serves either a point-operation mix
+// (Get-heavy with occasional Put/Delete, scan=false) or a whole-structure
+// range scan per transaction (scan=true). Warm-up grows the thread's access
+// set to the scan footprint, so the measured region must allocate nothing.
+func benchSkiplist(workload, kind, hashName string, entries uint64, ops int, seed uint64, scan bool) (benchResult, error) {
+	const capacity = 512
+	rt, err := newBenchRuntime(kind, hashName, "backoff", entries, tmds.SkiplistWords(capacity), seed)
+	if err != nil {
+		return benchResult{}, err
+	}
+	mem := rt.Memory()
+	s, err := tmds.NewSkiplist(mem, 0, capacity, seed)
+	if err != nil {
+		return benchResult{}, err
+	}
+	th := rt.NewThread()
+	for k := uint64(0); k < 256; k += 2 {
+		if _, err := s.Put(th, k, k); err != nil {
+			return benchResult{}, err
+		}
+	}
+	scanBody := func(tx *stm.Tx) error { return s.RangeScanTx(tx, 0, 255, benchScanSink) }
+	txn := func(i int) error {
+		if scan {
+			return th.Atomic(scanBody)
+		}
+		k := uint64(i*31) % 256
+		switch i % 10 {
+		case 0, 1:
+			_, err := s.Put(th, k, uint64(i))
+			return err
+		case 2:
+			_, err := s.Delete(th, k)
+			return err
+		default:
+			_, _, err := s.Get(th, k)
+			return err
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if err := txn(i); err != nil {
+			return benchResult{}, err
+		}
+	}
+	warm := rt.Stats()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := txn(i); err != nil {
+			return benchResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
 	st := rt.Stats()
 	commits := st.Commits - warm.Commits
 	aborts := st.Aborts - warm.Aborts

@@ -27,7 +27,7 @@ import (
 func runLoad(fs *flag.FlagSet, args []string) error {
 	jsonOut := fs.Bool("json", false, "emit JSON instead of an aligned table")
 	virtual := fs.Bool("virtual", false, "deterministic discrete-event run on a virtual clock (byte-reproducible per seed)")
-	structName := fs.String("struct", "all", "structure under load: hashmap | list | queue | all")
+	structName := fs.String("struct", "all", "structure under load: hashmap | list | queue | skiplist | all")
 	table := fs.String("table", "tagged", "ownership table: tagless | tagged | sharded")
 	cm := fs.String("cm", "all", "contention policy: backoff | adaptive | karma | timestamp | switching | all")
 	arrival := fs.String("arrival", "poisson", "arrival process: fixed | poisson")
@@ -42,6 +42,8 @@ func runLoad(fs *flag.FlagSet, args []string) error {
 	seed := fs.Uint64("seed", 1, "root random seed")
 	bits := fs.Int("bits", 7, "histogram precision in sub-bucket bits (relative error 2^-bits)")
 	entries := fs.Uint64("entries", 4096, "ownership table entries (power of two)")
+	scanFrac := fs.Float64("scan-frac", 0.25, "fraction of operations that range-scan in the skiplist scan sweep")
+	scanSpan := fs.Int("scan-span", 64, "inclusive key width of each range scan in the skiplist scan sweep")
 	record := fs.String("record", "", "directory to write one opacity trace per scenario (verify with 'tmbp check')")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,6 +147,59 @@ func runLoad(fs *flag.FlagSet, args []string) error {
 		}
 	}
 
+	// Scan-heavy companion sweep: the skiplist with a quarter of operations
+	// replaced by range scans, with and without invisible readers. A scan
+	// reads every level-0 node in its span inside one transaction, so these
+	// rows surface the footprint-vs-conflict trade the point sweeps cannot:
+	// scans widen the window for false conflicts under block aliasing, and
+	// the invisible rows show how much of that a non-acquiring read protocol
+	// buys back.
+	for _, policy := range cms {
+		for _, invisible := range []bool{false, true} {
+			sc := load.Scenario{
+				Struct:       "skiplist",
+				Table:        *table,
+				CM:           policy,
+				Arrival:      *arrival,
+				RatePerSec:   *rate,
+				Workers:      *workers,
+				Ops:          *ops,
+				Keys:         *keys,
+				ZipfS:        *zipfS,
+				ReadFrac:     *readFrac,
+				ScanFrac:     *scanFrac,
+				ScanSpan:     *scanSpan,
+				Invisible:    invisible,
+				MeanOps:      *meanOps,
+				ServiceNs:    *serviceNs,
+				Virtual:      *virtual,
+				Seed:         *seed,
+				Bits:         *bits,
+				TableEntries: *entries,
+			}
+			var trace *opacity.Log
+			if *record != "" {
+				trace = opacity.NewLog()
+				sc.Recorder = trace
+			}
+			res, err := load.Run(sc)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, res.Row)
+			if trace != nil {
+				mode := "acq"
+				if invisible {
+					mode = "inv"
+				}
+				name := fmt.Sprintf("load_scan_skiplist_%s_%s_%s.trace", *table, policy, mode)
+				if err := dumpTrace(trace, *record, name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -159,6 +214,9 @@ func runLoad(fs *flag.FlagSet, args []string) error {
 		"struct", "cm", "reads", "tput tx/s", "p50 ns", "p99 ns", "p999 ns", "max ns", "abort rate")
 	for _, r := range rows {
 		reads := fmt.Sprintf("%.0f%%", r.ReadFrac*100)
+		if r.ScanFrac > 0 {
+			reads += fmt.Sprintf(" s%.0f%%", r.ScanFrac*100)
+		}
 		if r.Invisible {
 			reads += " inv"
 		}
@@ -178,6 +236,7 @@ func runLoad(fs *flag.FlagSet, args []string) error {
 		*arrival, *rate, *workers, *table, *seed, mode)
 	t.Note("quantiles from per-worker log-bucketed histograms (relative error <= 2^-%d), merged after the run", *bits)
 	t.Note("90%% rows: read-mostly hashmap companion sweep; 'inv' commits read-only transactions by version validation (invisible readers) instead of acquiring ownership")
+	t.Note("s%% rows: skiplist scan sweep — that fraction of operations range-scan %d keys in one transaction, a multi-hundred-word footprint per scan", *scanSpan)
 	return t.Render(os.Stdout)
 }
 

@@ -116,9 +116,10 @@ func TestRunBenchSubcommandJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("bench -json emitted invalid JSON: %v\n%s", err, out)
 	}
-	// 3 serial + 5 serial-cm + 5 cmabort + 3x2 serial-ro + 3 contended.
-	if rep.Schema != 1 || len(rep.Results) != 22 {
-		t.Fatalf("bench report shape: schema=%d results=%d, want 1/22", rep.Schema, len(rep.Results))
+	// 3 serial + 5 serial-cm + 5 cmabort + 3x2 serial-ro + 3x2 skiplist
+	// + 3 contended.
+	if rep.Schema != 1 || len(rep.Results) != 28 {
+		t.Fatalf("bench report shape: schema=%d results=%d, want 1/28", rep.Schema, len(rep.Results))
 	}
 	kinds := map[string]bool{}
 	for _, r := range rep.Results {
@@ -139,6 +140,9 @@ func TestRunBenchSubcommandJSON(t *testing.T) {
 		"serial-ro-acquire/tagless", "serial-ro-invisible/tagless",
 		"serial-ro-acquire/tagged", "serial-ro-invisible/tagged",
 		"serial-ro-acquire/sharded", "serial-ro-invisible/sharded",
+		"serial-skiplist/tagless", "serial-skiplist-scan/tagless",
+		"serial-skiplist/tagged", "serial-skiplist-scan/tagged",
+		"serial-skiplist/sharded", "serial-skiplist-scan/sharded",
 	} {
 		if !kinds[want] {
 			t.Errorf("bench report missing %s", want)
@@ -213,8 +217,9 @@ func TestRunLoadFlagErrors(t *testing.T) {
 	}
 }
 
-// loadTestArgs is a cheap deterministic load sweep: 3 structures x 5
-// policies, 300 transactions each, on the virtual clock.
+// loadTestArgs is a cheap deterministic load sweep: 4 structures x 5
+// policies plus the read-mostly and scan companion sweeps, 300 transactions
+// each, on the virtual clock.
 var loadTestArgs = []string{"-json", "-virtual", "-ops", "300", "-keys", "64"}
 
 // TestRunLoadSubcommandJSON pins the shape of `tmbp load -json`: a
@@ -241,10 +246,10 @@ func TestRunLoadSubcommandJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("load -json emitted invalid JSON: %v\n%s", err, out)
 	}
-	// 3 structures x 5 policies, plus the read-mostly hashmap companion
-	// sweep: 5 policies x {acquiring, invisible}.
-	if rep.Schema != 1 || len(rep.Rows) != 25 {
-		t.Fatalf("load report shape: schema=%d rows=%d, want 1/25", rep.Schema, len(rep.Rows))
+	// 4 structures x 5 policies, plus the read-mostly hashmap and scan-heavy
+	// skiplist companion sweeps: 5 policies x {acquiring, invisible} each.
+	if rep.Schema != 1 || len(rep.Rows) != 40 {
+		t.Fatalf("load report shape: schema=%d rows=%d, want 1/40", rep.Schema, len(rep.Rows))
 	}
 	seen := map[string]bool{}
 	for _, r := range rep.Rows {
@@ -260,7 +265,7 @@ func TestRunLoadSubcommandJSON(t *testing.T) {
 				r.Struct, r.CM, r.P50, r.P99, r.P999, r.Max)
 		}
 	}
-	for _, structName := range []string{"hashmap", "list", "queue"} {
+	for _, structName := range []string{"hashmap", "list", "queue", "skiplist"} {
 		for _, cm := range []string{"backoff", "adaptive", "karma", "timestamp", "switching"} {
 			if !seen[structName+"/"+cm] {
 				t.Errorf("load report missing row %s/%s", structName, cm)

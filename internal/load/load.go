@@ -24,8 +24,8 @@ const (
 // policy. Zero values take the defaults noted per field; Normalize applies
 // them and validates the rest.
 type Scenario struct {
-	// Struct is the tmds structure driven: "hashmap", "list", or "queue".
-	// Default "hashmap".
+	// Struct is the tmds structure driven: "hashmap", "list", "queue", or
+	// "skiplist". Default "hashmap".
 	Struct string
 	// Table is the ownership-table organization. Default "tagged".
 	Table string
@@ -53,6 +53,15 @@ type Scenario struct {
 	// ReadFrac is the probability an operation observes rather than
 	// mutates. Default 0.75.
 	ReadFrac float64
+	// ScanFrac is the probability an operation is a range scan instead of
+	// a point operation. Requires a structure implementing tmds.Ranged
+	// (today: skiplist). Default 0 — point operations only, which keeps
+	// the pre-drawn streams of scan-free scenarios unchanged.
+	ScanFrac float64
+	// ScanSpan is the inclusive width of each scan's key range: a scan at
+	// key k covers [k, k+ScanSpan-1]. Only meaningful with ScanFrac > 0.
+	// Default 64.
+	ScanSpan int
 	// Invisible enables the runtime's invisible-reader fast path
 	// (STMConfig.InvisibleReaders): transactions that only read commit by
 	// version validation instead of acquiring ownership. Most interesting
@@ -112,6 +121,9 @@ func (sc Scenario) Normalize() (Scenario, error) {
 	if sc.ReadFrac == 0 {
 		sc.ReadFrac = 0.75
 	}
+	if sc.ScanSpan == 0 {
+		sc.ScanSpan = 64
+	}
 	if sc.MeanOps == 0 {
 		sc.MeanOps = 4
 	}
@@ -152,6 +164,10 @@ func (sc Scenario) Normalize() (Scenario, error) {
 		return sc, fmt.Errorf("load: Zipf skew %v must be non-negative", sc.ZipfS)
 	case sc.ReadFrac < 0 || sc.ReadFrac > 1:
 		return sc, fmt.Errorf("load: read fraction %v must be in [0, 1]", sc.ReadFrac)
+	case sc.ScanFrac < 0 || sc.ScanFrac > 1:
+		return sc, fmt.Errorf("load: scan fraction %v must be in [0, 1]", sc.ScanFrac)
+	case sc.ScanSpan < 1:
+		return sc, fmt.Errorf("load: scan span %d must be positive", sc.ScanSpan)
 	case sc.MeanOps < 1:
 		return sc, fmt.Errorf("load: mean transaction size %v must be >= 1", sc.MeanOps)
 	case sc.ServiceNs < 0:
@@ -185,6 +201,7 @@ type Row struct {
 	RatePerSec    float64 `json:"rate_per_sec"`
 	Workers       int     `json:"workers"`
 	ReadFrac      float64 `json:"read_frac"`
+	ScanFrac      float64 `json:"scan_frac"`
 	Invisible     bool    `json:"invisible"`
 	Virtual       bool    `json:"virtual"`
 	Seed          uint64  `json:"seed"`
@@ -208,8 +225,11 @@ type Result struct {
 	Hist *Hist
 }
 
-// opSpec is one pre-drawn keyed operation.
+// opSpec is one pre-drawn keyed operation. A scan reuses key as its lower
+// bound; val is drawn either way to keep the content stream aligned across
+// scan-fraction changes.
 type opSpec struct {
+	scan bool
 	read bool
 	key  uint64
 	val  uint64
@@ -240,7 +260,15 @@ func plan(sc Scenario) ([]txnSpec, error) {
 		nops := 1 + content.Geometric(1/sc.MeanOps)
 		ops := make([]opSpec, nops)
 		for j := range ops {
+			// The scan draw only happens when scans are possible at all, so
+			// every scan-free scenario consumes exactly the pre-existing
+			// stream — its rows stay byte-identical across this feature.
+			var scan bool
+			if sc.ScanFrac > 0 {
+				scan = content.Float64() < sc.ScanFrac
+			}
 			ops[j] = opSpec{
+				scan: scan,
 				read: content.Float64() < sc.ReadFrac,
 				key:  uint64(zipf.Sample(content)),
 				val:  content.Uint64(),
@@ -291,15 +319,22 @@ func world(sc Scenario) (*tmbp.STM, tmds.Keyed, error) {
 	return rt, w, nil
 }
 
-// execute runs one planned transaction on th.
-func execute(th *tmbp.Thread, w tmds.Keyed, t *txnSpec) error {
+// execute runs one planned transaction on th. rg is the structure's scan
+// face, nil unless the scenario drew scan operations (Run validates the
+// structure supports them before any transaction executes).
+func execute(th *tmbp.Thread, w tmds.Keyed, rg tmds.Ranged, span uint64, t *txnSpec) error {
 	return th.Atomic(func(tx *tmbp.Tx) error {
 		for _, op := range t.ops {
-			if op.read {
+			switch {
+			case op.scan:
+				if err := rg.ScanTx(tx, op.key, op.key+span-1); err != nil {
+					return err
+				}
+			case op.read:
 				if err := w.ReadTx(tx, op.key); err != nil {
 					return err
 				}
-			} else {
+			default:
 				if err := w.WriteTx(tx, op.key, op.val); err != nil {
 					return err
 				}
@@ -326,12 +361,21 @@ func Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rg tmds.Ranged
+	if sc.ScanFrac > 0 {
+		r, ok := w.(tmds.Ranged)
+		if !ok {
+			return nil, fmt.Errorf("load: structure %q has no range scans (scan fraction %v needs one of the ordered structures)",
+				sc.Struct, sc.ScanFrac)
+		}
+		rg = r
+	}
 	var hist *Hist
 	var elapsed int64
 	if sc.Virtual {
-		hist, elapsed, err = runVirtual(sc, rt, w, txns)
+		hist, elapsed, err = runVirtual(sc, rt, w, rg, txns)
 	} else {
-		hist, elapsed, err = runWall(sc, rt, w, txns)
+		hist, elapsed, err = runWall(sc, rt, w, rg, txns)
 	}
 	if err != nil {
 		return nil, err
@@ -345,6 +389,7 @@ func Run(sc Scenario) (*Result, error) {
 		RatePerSec: sc.RatePerSec,
 		Workers:    sc.Workers,
 		ReadFrac:   sc.ReadFrac,
+		ScanFrac:   sc.ScanFrac,
 		Invisible:  sc.Invisible,
 		Virtual:    sc.Virtual,
 		Seed:       sc.Seed,
@@ -375,7 +420,7 @@ func Run(sc Scenario) (*Result, error) {
 // a pure function of the plan. Open-loop latency is completion minus
 // *scheduled arrival*: a transaction that arrives while every server is
 // busy pays the queueing delay even though no goroutine ever blocked.
-func runVirtual(sc Scenario, rt *tmbp.STM, w tmds.Keyed, txns []txnSpec) (*Hist, int64, error) {
+func runVirtual(sc Scenario, rt *tmbp.STM, w tmds.Keyed, rg tmds.Ranged, txns []txnSpec) (*Hist, int64, error) {
 	clock := NewVirtualClock()
 	hist := NewHist(sc.Bits)
 	free := make([]int64, sc.Workers) // per-server next-free times
@@ -393,7 +438,7 @@ func runVirtual(sc Scenario, rt *tmbp.STM, w tmds.Keyed, txns []txnSpec) (*Hist,
 		if free[srv] > start {
 			start = free[srv]
 		}
-		if err := execute(th, w, t); err != nil {
+		if err := execute(th, w, rg, uint64(sc.ScanSpan), t); err != nil {
 			return nil, 0, fmt.Errorf("load: transaction %d: %w", i, err)
 		}
 		complete := start + sc.ServiceNs*int64(len(t.ops))
@@ -416,7 +461,7 @@ var wallSetupHook func()
 // goroutines drain it, each recording completion minus scheduled arrival
 // into its own histogram. Per-worker histograms make the record path
 // lock-free by ownership; they merge after the run.
-func runWall(sc Scenario, rt *tmbp.STM, w tmds.Keyed, txns []txnSpec) (*Hist, int64, error) {
+func runWall(sc Scenario, rt *tmbp.STM, w tmds.Keyed, rg tmds.Ranged, txns []txnSpec) (*Hist, int64, error) {
 	// The run's t=0 is anchored immediately before the dispatch loop, not at
 	// entry: anchoring first and then building channels, histograms, and
 	// worker threads would leave the earliest arrivals already in the past
@@ -436,7 +481,7 @@ func runWall(sc Scenario, rt *tmbp.STM, w tmds.Keyed, txns []txnSpec) (*Hist, in
 			th := rt.NewThread()
 			h := hists[id]
 			for t := range work {
-				if err := execute(th, w, t); err != nil {
+				if err := execute(th, w, rg, uint64(sc.ScanSpan), t); err != nil {
 					errs[id] = err
 					// Keep draining: abandoning the channel would leave
 					// the dispatcher's transactions unaccounted for.

@@ -288,6 +288,9 @@ func TestNormalizeValidates(t *testing.T) {
 		{Keys: -1},
 		{ZipfS: -0.5},
 		{ReadFrac: 1.5},
+		{ScanFrac: -0.1},
+		{ScanFrac: 1.5},
+		{ScanSpan: -4},
 		{MeanOps: 0.5},
 		{ServiceNs: -1},
 		{Bits: 13},
@@ -304,5 +307,68 @@ func TestNormalizeValidates(t *testing.T) {
 	}
 	if got.Struct != "hashmap" || got.CM != "backoff" || got.Workers != 4 || got.Bits != 7 {
 		t.Fatalf("defaults not applied: %+v", got)
+	}
+}
+
+// TestScanScenario pins the range-scan extension of the generator: scan
+// operations only exist when asked for, they ride the same content stream
+// without moving arrivals, scan rows are byte-reproducible in virtual mode,
+// and structures without a scan face are rejected up front.
+func TestScanScenario(t *testing.T) {
+	sc := Scenario{Struct: "skiplist", ScanFrac: 0.25, ScanSpan: 32,
+		Ops: 1000, Keys: 256, Virtual: true}
+	norm, err := sc.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns, err := plan(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scans, total := 0, 0
+	for i := range txns {
+		for _, op := range txns[i].ops {
+			total++
+			if op.scan {
+				scans++
+			}
+		}
+	}
+	if frac := float64(scans) / float64(total); frac < 0.18 || frac > 0.32 {
+		t.Fatalf("scan fraction %v (%d/%d ops), want near 0.25", frac, scans, total)
+	}
+	// The scan draw must not move the arrival schedule.
+	noScan := norm
+	noScan.ScanFrac = 0
+	base, err := plan(noScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i].arrival != txns[i].arrival {
+			t.Fatalf("arrival %d moved from %d to %d when scans were enabled",
+				i, base[i].arrival, txns[i].arrival)
+		}
+	}
+	// Byte-reproducible rows, with the scan fraction recorded.
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(r1.Row)
+	b2, _ := json.Marshal(r2.Row)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("scan-scenario reruns differ:\n%s\n%s", b1, b2)
+	}
+	if r1.Row.ScanFrac != 0.25 {
+		t.Fatalf("row scan_frac = %v, want 0.25", r1.Row.ScanFrac)
+	}
+	// Structures without a scan face fail fast, not mid-run.
+	if _, err := Run(Scenario{Struct: "hashmap", ScanFrac: 0.25, Ops: 10, Virtual: true}); err == nil {
+		t.Fatal("hashmap scenario with scans accepted")
 	}
 }

@@ -38,6 +38,12 @@ type AccessSet struct {
 	// tables resolve slot ownership with the primary chunk probe — so for
 	// the common case it stays empty and costs nothing.
 	slotIndex []idxSlot
+	// slotUsed latches the first RecordSlotOwner call. While false (every
+	// identity-slot client, forever), growIndex skips slot re-registration
+	// entirely — at range-scan footprints the set doubles many times and
+	// re-recording thousands of entries nobody will ever probe is pure
+	// waste. Sticky across Reset: a thread's table kind never changes.
+	slotUsed bool
 
 	denseInline [InlineEntries]Access
 	indexInline [2 * InlineEntries]idxSlot
@@ -162,6 +168,7 @@ func (s *AccessSet) Insert(chunk addr.Block) *Access {
 // Obligations never move between entries within a transaction, so an entry
 // is registered at most once.
 func (s *AccessSet) RecordSlotOwner(e *Access) {
+	s.slotUsed = true
 	mask := uint64(len(s.slotIndex) - 1)
 	h := (e.Slot * fibMult) >> s.shift
 	for {
@@ -228,9 +235,12 @@ func (s *AccessSet) link(chunk addr.Block, idx int32) {
 }
 
 // growIndex doubles both probe tables (keeping load factor ≤ 1/2) and
-// relinks the live entries. Every obligation-carrying entry is re-recorded
-// in the slot index; for identity-slot clients that over-registers entries
-// no one will look up, which is harmless — each entry owns its own slot.
+// relinks the live entries. Obligation-carrying entries are re-recorded in
+// the slot index only when some owner was ever registered (slotUsed):
+// identity-slot clients never probe the slot index, so re-registering their
+// entries at every doubling of a multi-hundred-entry scan footprint would
+// be wasted work. Both tables still grow in lockstep — FindSlotOwner's
+// probe arithmetic shares shift with the primary index.
 func (s *AccessSet) growIndex() {
 	s.index = make([]idxSlot, 2*len(s.index))
 	s.slotIndex = make([]idxSlot, 2*len(s.slotIndex))
@@ -238,7 +248,7 @@ func (s *AccessSet) growIndex() {
 	for i := 0; i < s.n; i++ {
 		e := &s.dense[i]
 		s.link(e.Chunk, int32(i))
-		if e.Perm&(SlotRead|SlotWrite) != 0 {
+		if s.slotUsed && e.Perm&(SlotRead|SlotWrite) != 0 {
 			s.RecordSlotOwner(e)
 		}
 	}

@@ -86,6 +86,89 @@ func BenchmarkMapPutGet(b *testing.B) {
 	}
 }
 
+// skiplistBenchWorld builds a half-full skiplist (even keys of [0, 256))
+// shared by the skiplist benchmarks.
+func skiplistBenchWorld(b *testing.B, kind string) (*tmbp.Thread, *Skiplist) {
+	b.Helper()
+	b.ReportAllocs()
+	tab, err := tmbp.NewTable(kind, 4096, "mask")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := tmbp.NewMemory(SkiplistWords(512))
+	rt, err := tmbp.NewSTM(tmbp.STMConfig{Table: tab, Memory: mem, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSkiplist(mem, 0, 512, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := rt.NewThread()
+	for k := uint64(0); k < 256; k += 2 {
+		if _, err := s.Put(th, k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return th, s
+}
+
+// benchSkiplistOps runs the point-operation mix (Get-heavy with occasional
+// Put/Delete) over one table organization.
+func benchSkiplistOps(b *testing.B, kind string) {
+	th, s := skiplistBenchWorld(b, kind)
+	rng := uint64(7)
+	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := next() % 256
+		var err error
+		switch next() % 10 {
+		case 0, 1:
+			_, err = s.Put(th, k, k)
+		case 2:
+			_, err = s.Delete(th, k)
+		default:
+			_, _, err = s.Get(th, k)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkiplistTagless measures skiplist point ops over the tagless table.
+func BenchmarkSkiplistTagless(b *testing.B) { benchSkiplistOps(b, "tagless") }
+
+// BenchmarkSkiplistTagged measures skiplist point ops over the tagged table.
+func BenchmarkSkiplistTagged(b *testing.B) { benchSkiplistOps(b, "tagged") }
+
+// BenchmarkSkiplistSharded measures skiplist point ops over the sharded table.
+func BenchmarkSkiplistSharded(b *testing.B) { benchSkiplistOps(b, "sharded") }
+
+// BenchmarkSkiplistScan measures a whole-structure range scan per iteration:
+// one transaction reading every level-0 node — the multi-hundred-word
+// footprint that exercises the access set's spill table.
+func BenchmarkSkiplistScan(b *testing.B) {
+	th, s := skiplistBenchWorld(b, "tagged")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := th.Atomic(func(tx *tmbp.Tx) error {
+			n = 0
+			return s.RangeScanTx(tx, 0, 255, func(_, _ uint64) error {
+				n++
+				return nil
+			})
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != 128 {
+			b.Fatalf("scan saw %d entries, want 128", n)
+		}
+	}
+}
+
 // BenchmarkQueue measures enqueue/dequeue round trips.
 func BenchmarkQueue(b *testing.B) {
 	b.ReportAllocs()

@@ -1,0 +1,60 @@
+package tmds
+
+import (
+	"testing"
+
+	"tmbp"
+)
+
+// TestSkiplistInvisibleScanPromotion pins the invisible-reader/scan
+// interaction: a transaction that range-scans and then writes must start on
+// the invisible fast path (the scan acquires nothing) and promote to the
+// acquiring protocol on its first PutTx — re-acquiring every block the scan
+// read so the combined footprint stays opaque. A pure scan in the same
+// runtime stays read-only end to end.
+func TestSkiplistInvisibleScanPromotion(t *testing.T) {
+	for _, kind := range tmbp.TableKinds() {
+		t.Run(kind, func(t *testing.T) {
+			rt, s, verify := phantomWorld(t, kind, true)
+			th := rt.NewThread()
+
+			// Pure scan first: commits on the read-only path.
+			var n int
+			if err := th.Atomic(func(tx *tmbp.Tx) error {
+				n = 0
+				return s.RangeScanTx(tx, 0, ^uint64(0), func(_, _ uint64) error {
+					n++
+					return nil
+				})
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if n != 5 {
+				t.Fatalf("pure scan saw %d entries, want 5", n)
+			}
+			if st := rt.Stats(); st.ROCommits == 0 {
+				t.Fatalf("pure scan did not use the read-only path: %+v", st)
+			}
+			before := rt.Stats()
+
+			// Scan-then-write: the first PutTx promotes the transaction.
+			if err := th.Atomic(func(tx *tmbp.Tx) error {
+				if err := s.RangeScanTx(tx, 0, ^uint64(0), discardKV); err != nil {
+					return err
+				}
+				_, err := s.PutTx(tx, 25, 250)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			after := rt.Stats()
+			if got := after.ROPromotions - before.ROPromotions; got != 1 {
+				t.Fatalf("scan-then-put promoted %d times, want 1 (stats %+v)", got, after)
+			}
+			if v, ok, _ := s.Get(th, 25); !ok || v != 250 {
+				t.Fatalf("promoted put not visible: got (%d,%v), want (250,true)", v, ok)
+			}
+			verify()
+		})
+	}
+}

@@ -8,7 +8,7 @@ import (
 
 // Kinds lists the transactional structures by name, in the order the
 // open-loop load generator (`tmbp load`) sweeps them.
-func Kinds() []string { return []string{"hashmap", "list", "queue"} }
+func Kinds() []string { return []string{"hashmap", "list", "queue", "skiplist"} }
 
 // Keyed is the uniform keyed face a workload generator drives: every
 // structure exposes one observing and one mutating operation per key, both
@@ -20,6 +20,7 @@ func Kinds() []string { return []string{"hashmap", "list", "queue"} }
 //	hashmap  ReadTx = Get; WriteTx = Put, or Delete when v%16 == 15
 //	list     ReadTx = Contains; WriteTx = Insert (v even) / Remove (v odd)
 //	queue    ReadTx = Dequeue (k ignored); WriteTx = Enqueue(v) (k ignored)
+//	skiplist ReadTx = Get; WriteTx = Put, or Delete when v%16 == 15
 //
 // Operations that "miss" (Get of an absent key, Dequeue of an empty queue,
 // Enqueue on a full queue) complete normally: a load generator measures the
@@ -30,6 +31,15 @@ type Keyed interface {
 	// WriteTx mutates the structure at key k inside tx; v supplies the
 	// value material (stored values, insert-vs-remove choice).
 	WriteTx(tx *tmbp.Tx, k, v uint64) error
+}
+
+// Ranged is the optional scan face of a Keyed structure: ordered
+// structures additionally expose an atomic range observation over
+// [lo, hi]. Only the skiplist implements it today; the load generator
+// type-asserts for it when a scenario asks for scan operations.
+type Ranged interface {
+	// ScanTx observes every entry with lo <= key <= hi inside tx.
+	ScanTx(tx *tmbp.Tx, lo, hi uint64) error
 }
 
 // KeyedWords returns the memory words NewKeyed needs for a structure of
@@ -43,6 +53,8 @@ func KeyedWords(kind string, keys int) (int, error) {
 		return spreadStride + int(mapWorkloadBuckets(keys))*spreadStride, nil
 	case "list", "queue":
 		return spreadStride + keys*spreadStride, nil
+	case "skiplist":
+		return SkiplistWords(keys), nil
 	}
 	return 0, fmt.Errorf("tmds: unknown structure kind %q (want one of %v)", kind, Kinds())
 }
@@ -85,6 +97,17 @@ func NewKeyed(kind string, mem *tmbp.Memory, baseWord, keys int) (Keyed, error) 
 			return nil, err
 		}
 		return keyedQueue{q}, nil
+	case "skiplist":
+		// Capacity equals the key-space size, so a Put of a possibly-present
+		// key can never exhaust the free list: ErrFull is unreachable. The
+		// fixed seed makes every workload skiplist's tower layout identical
+		// for a given key space — the byte-reproducible load rows depend on
+		// this.
+		s, err := NewSkiplist(mem, baseWord, keys, keyedSkiplistSeed)
+		if err != nil {
+			return nil, err
+		}
+		return keyedSkiplist{s}, nil
 	}
 	return nil, fmt.Errorf("tmds: unknown structure kind %q (want one of %v)", kind, Kinds())
 }
@@ -133,4 +156,32 @@ func (w keyedQueue) ReadTx(tx *tmbp.Tx, _ uint64) error {
 func (w keyedQueue) WriteTx(tx *tmbp.Tx, _, v uint64) error {
 	w.q.EnqueueTx(tx, v)
 	return nil
+}
+
+// keyedSkiplistSeed fixes the workload skiplist's tower-height stream.
+const keyedSkiplistSeed = 0x736b6970 // "skip"
+
+type keyedSkiplist struct{ s *Skiplist }
+
+func (w keyedSkiplist) ReadTx(tx *tmbp.Tx, k uint64) error {
+	w.s.GetTx(tx, k)
+	return nil
+}
+
+func (w keyedSkiplist) WriteTx(tx *tmbp.Tx, k, v uint64) error {
+	if v%16 == 15 {
+		w.s.DeleteTx(tx, k)
+		return nil
+	}
+	_, err := w.s.PutTx(tx, k, v)
+	return err
+}
+
+// discardKV is RangeScanTx's observation sink for workload scans: the scan
+// still reads every key and value transactionally (the footprint is the
+// point), but a package-level func keeps the hot path closure-free.
+func discardKV(_, _ uint64) error { return nil }
+
+func (w keyedSkiplist) ScanTx(tx *tmbp.Tx, lo, hi uint64) error {
+	return w.s.RangeScanTx(tx, lo, hi, discardKV)
 }

@@ -217,6 +217,10 @@ func TestKeyedMultiOpTransactionAtomic(t *testing.T) {
 			if n, _ := k.q.Len(th); n != 0 {
 				t.Errorf("queue: aborted writes leaked, size %d", n)
 			}
+		case keyedSkiplist:
+			if n, _ := k.s.Len(th); n != 0 {
+				t.Errorf("skiplist: aborted writes leaked, size %d", n)
+			}
 		}
 		_ = rt
 	}
